@@ -1,0 +1,120 @@
+"""Ablation: does the cost model decide correctly? (paper §VIII)
+
+The paper's future work asks for "a cost model covering additional
+costs of the PatchIndex usage"; this repo implements one
+(:mod:`repro.core.cost_model`).  This ablation validates it empirically:
+for each use case and exception rate, measure both plans, derive the
+*measured* best choice, and compare it with the model's prediction.
+
+The model only has to be right about the *sign* near its calibrated
+breakeven; a small disagreement band around the crossover is expected
+(both plans cost nearly the same there, so either choice is cheap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import measure
+from repro.bench.reporting import format_table
+from repro.core.cost_model import CostModel
+from repro.core.patch_index import PatchIndex, PatchIndexMode
+from repro.exec.operators.aggregate import AggregateSpec
+from repro.exec.operators.sort import SortKey
+from repro.exec.result import collect
+from repro.plan import logical as lp
+from repro.plan.optimizer import Optimizer, OptimizerOptions
+from repro.plan.physical import PhysicalPlanner
+from repro.storage.catalog import Catalog
+from repro.gen.synthetic import synthetic_table
+
+from conftest import BENCH_ROWS
+
+RATES = [0.005, 0.05, 0.3, 0.7]
+
+
+def _plans(use_case: str, rate: float):
+    """Build (plain operator, patched operator, n, p) for a use case."""
+    kind = "unique" if use_case == "distinct" else "sorted"
+    column = "u" if use_case == "distinct" else "s"
+    table = synthetic_table(
+        f"cm_{use_case}_{rate}",
+        BENCH_ROWS,
+        unique_exception_rate=rate if kind == "unique" else 0.0,
+        sorted_exception_rate=rate if kind == "sorted" else 0.0,
+        partition_count=4,
+        seed=int(rate * 1000) + 71,
+    )
+    index = PatchIndex.create(
+        "pi", table, column, kind, mode=PatchIndexMode.BITMAP
+    )
+    index.detach()
+    catalog = Catalog()
+    catalog.add_table(table)
+    catalog.add_index(index)
+    if use_case == "distinct":
+        logical = lp.LogicalAggregate(
+            lp.LogicalScan(table, (column,)),
+            (),
+            (AggregateSpec("count_distinct", column, "n"),),
+        )
+    else:
+        logical = lp.LogicalSort(
+            lp.LogicalScan(table, (column,)), (SortKey(column),)
+        )
+    planner = PhysicalPlanner()
+    plain = planner.plan(logical)
+    patched = planner.plan(
+        Optimizer(catalog, OptimizerOptions(always_rewrite=True)).optimize(
+            logical
+        )
+    )
+    return plain, patched, table.row_count, index.patch_count
+
+
+def test_cost_model_decision_accuracy(benchmark, report):
+    model = CostModel()
+    rows = []
+    agreements = 0
+    decisions = 0
+    for use_case in ("distinct", "sort"):
+        for rate in RATES:
+            plain, patched, n, p = _plans(use_case, rate)
+            plain_run = measure(lambda op=plain: collect(op))
+            patched_run = measure(lambda op=patched: collect(op))
+            measured_best = (
+                "patched" if patched_run.seconds < plain_run.seconds else "plain"
+            )
+            predicted = (
+                "patched" if model.should_rewrite(use_case, n, p) else "plain"
+            )
+            margin = abs(plain_run.seconds - patched_run.seconds) / max(
+                plain_run.seconds, patched_run.seconds
+            )
+            decisive = margin > 0.15  # near-ties don't count either way
+            if decisive:
+                decisions += 1
+                agreements += predicted == measured_best
+            rows.append(
+                [
+                    use_case,
+                    rate,
+                    plain_run.milliseconds,
+                    patched_run.milliseconds,
+                    measured_best,
+                    predicted,
+                    "✓" if predicted == measured_best else ("~" if not decisive else "✗"),
+                ]
+            )
+    report(
+        format_table(
+            f"Ablation §VIII: cost-model decisions vs measurement "
+            f"({BENCH_ROWS} rows; '~' = near-tie, not scored)",
+            ["use case", "rate", "plain [ms]", "patched [ms]", "best", "model", "ok"],
+            rows,
+        )
+    )
+    # The model must agree on every decisive case.
+    assert decisions == 0 or agreements / decisions >= 0.75, rows
+    plain, patched, __, __ = _plans("distinct", 0.05)
+    benchmark(lambda: collect(patched))

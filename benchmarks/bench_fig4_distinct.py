@@ -1,0 +1,140 @@
+"""Figure 4 (paper §VII-B1): count-distinct runtime vs exception rate.
+
+Paper setup: 100 M-row synthetic table, uniqueness exceptions placed at
+random locations, evenly distributed into 100 K duplicate values; a
+count-distinct query runs with and without a PatchIndex (both physical
+designs).
+
+Shape to reproduce:
+- the PatchIndex plans win at every exception rate;
+- PI runtime grows slowly with the rate (more patches to aggregate);
+- no-PI runtime is flat to slightly decreasing (fewer distinct groups);
+- identifier-based and bitmap-based designs behave similarly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import measure
+from repro.bench.reporting import format_series
+from repro.core.patch_index import PatchIndex, PatchIndexMode
+from repro.exec.operators.aggregate import AggregateSpec
+from repro.exec.result import collect
+from repro.plan import logical as lp
+from repro.plan.optimizer import Optimizer, OptimizerOptions
+from repro.plan.physical import PhysicalPlanner
+from repro.storage.catalog import Catalog
+from repro.gen.synthetic import synthetic_table
+
+from conftest import BENCH_ROWS, SWEEP_RATES
+
+
+def _make_table(rate: float):
+    return synthetic_table(
+        f"fig4_{rate}",
+        BENCH_ROWS,
+        unique_exception_rate=rate,
+        partition_count=4,
+        seed=int(rate * 1000) + 1,
+    )
+
+
+def _count_distinct_plan(table, index: PatchIndex | None):
+    catalog = Catalog()
+    catalog.add_table(table)
+    if index is not None:
+        catalog.add_index(index)
+    plan = lp.LogicalAggregate(
+        lp.LogicalScan(table, ("u",)),
+        (),
+        (AggregateSpec("count_distinct", "u", "n"),),
+    )
+    options = OptimizerOptions(
+        use_patch_indexes=index is not None, always_rewrite=index is not None
+    )
+    optimized = Optimizer(catalog, options).optimize(plan)
+    return PhysicalPlanner().plan(optimized)
+
+
+def _run_point(rate: float) -> dict[str, float]:
+    table = _make_table(rate)
+    ident = PatchIndex.create(
+        "pi_i", table, "u", "unique", mode=PatchIndexMode.IDENTIFIER
+    )
+    bitmap = PatchIndex.create(
+        "pi_b", table, "u", "unique", mode=PatchIndexMode.BITMAP
+    )
+    ident.detach()
+    bitmap.detach()
+    plans = {
+        "no PI": _count_distinct_plan(table, None),
+        "PI identifier": _count_distinct_plan(table, ident),
+        "PI bitmap": _count_distinct_plan(table, bitmap),
+    }
+    results = {}
+    timings = {}
+    for label, operator in plans.items():
+        run = measure(lambda op=operator: collect(op))
+        timings[label] = run.milliseconds
+        results[label] = run.result.column("n")[0]
+    # All three plans must agree on the answer.
+    assert len(set(results.values())) == 1, results
+    return timings
+
+
+@pytest.fixture(scope="module")
+def sweep(report):
+    series = {"no PI": [], "PI identifier": [], "PI bitmap": []}
+    for rate in SWEEP_RATES:
+        timings = _run_point(rate)
+        for label in series:
+            series[label].append(timings[label])
+    report(
+        format_series(
+            f"Figure 4: count distinct vs exception rate ({BENCH_ROWS} rows; "
+            "paper: PI wins at all rates, both designs similar)",
+            "rate",
+            SWEEP_RATES,
+            series,
+        )
+    )
+    return series
+
+
+def test_fig4_sweep_and_shape(benchmark, sweep):
+    # Representative benchmark point for the pytest-benchmark table.
+    table = _make_table(0.05)
+    index = PatchIndex.create("pi", table, "u", "unique")
+    index.detach()
+    operator = _count_distinct_plan(table, index)
+    benchmark(lambda: collect(operator))
+    # Shape assertions (coarse, robust to noise):
+    no_pi = sweep["no PI"]
+    ident = sweep["PI identifier"]
+    bitmap = sweep["PI bitmap"]
+    wins = sum(
+        1
+        for baseline, patched in zip(no_pi, ident)
+        if patched < baseline
+    )
+    assert wins >= len(SWEEP_RATES) - 2, (no_pi, ident)
+    # The two designs stay within 2x of each other everywhere.
+    for left, right in zip(ident, bitmap):
+        assert 0.5 < left / right < 2.0
+
+
+@pytest.mark.parametrize("rate", [0.01, 0.4])
+def test_fig4_no_patchindex(benchmark, rate):
+    table = _make_table(rate)
+    operator = _count_distinct_plan(table, None)
+    benchmark(lambda: collect(operator))
+
+
+@pytest.mark.parametrize("rate", [0.01, 0.4])
+def test_fig4_with_patchindex(benchmark, rate):
+    table = _make_table(rate)
+    index = PatchIndex.create("pi", table, "u", "unique")
+    index.detach()
+    operator = _count_distinct_plan(table, index)
+    benchmark(lambda: collect(operator))

@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures and paper-style report collection.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_ROWS``        rows for the Figure 4/5 sweeps  (default 200000)
+``REPRO_BENCH_CREATE_ROWS`` rows for the Figure 6 creation sweep (100000)
+``REPRO_BENCH_SALES_ROWS``  catalog_sales rows for the join bench (400000)
+``REPRO_BENCH_CUSTOMER_ROWS`` customer rows for Table I (200000)
+
+Every benchmark prints the series/rows the corresponding paper table or
+figure reports; the lines are gathered by the ``report`` fixture and
+emitted in the terminal summary so they survive pytest's capture and
+land in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+BENCH_ROWS = _env_int("REPRO_BENCH_ROWS", 200_000)
+CREATE_ROWS = _env_int("REPRO_BENCH_CREATE_ROWS", 100_000)
+SALES_ROWS = _env_int("REPRO_BENCH_SALES_ROWS", 400_000)
+CUSTOMER_ROWS = _env_int("REPRO_BENCH_CUSTOMER_ROWS", 200_000)
+
+#: Exception-rate grid for the Figure 4/5/6 sweeps (paper: 0..~90 %).
+SWEEP_RATES = [0.001, 0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8]
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect paper-style result tables for the terminal summary."""
+
+    def add(text: str) -> None:
+        _REPORTS.append(text)
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for text in _REPORTS:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

@@ -1,0 +1,50 @@
+"""Patch-aware compression: the paper's §VIII closing hypothesis.
+
+"We plan to investigate on opportunities the PatchIndex offers for data
+compression, potentially increasing compression ratios when treating
+discovered set of patches separately."
+
+This example compresses a nearly sorted event-id column three ways and
+prints the ratios: the handful of out-of-order rows that a PatchIndex
+already knows about are exactly the values that would otherwise force a
+wide delta encoding on everyone else.
+
+Run:  python examples/patch_aware_compression.py
+"""
+
+from repro.core.compression import compress_for, compress_sorted
+from repro.core.patch_index import PatchIndex
+from repro.gen.synthetic import synthetic_table
+
+ROWS = 200_000
+
+for rate in (0.001, 0.01, 0.05, 0.2):
+    table = synthetic_table(
+        "events", ROWS, sorted_exception_rate=rate, seed=int(rate * 1e4)
+    )
+    column = table.read_column("s")
+    raw_bytes = ROWS * 8
+
+    # The PatchIndex already holds the minimal exception set; the
+    # compressor reuses it instead of re-discovering.
+    index = PatchIndex.create("pi", table, "s", "sorted")
+    index.detach()
+    patched = compress_sorted(column, index.rowids())
+    plain = compress_for(column)
+
+    assert patched.decompress().to_pylist() == column.to_pylist()
+    print(
+        f"rate={rate:<6g} raw={raw_bytes / 1024:8.1f} KiB   "
+        f"plain delta/FOR={plain.size_bytes() / 1024:8.1f} KiB "
+        f"({raw_bytes / plain.size_bytes():5.1f}x)   "
+        f"patch-aware={patched.size_bytes() / 1024:8.1f} KiB "
+        f"({raw_bytes / patched.size_bytes():5.1f}x, "
+        f"{index.patch_count} patches @ {patched.delta_width} bit deltas)"
+    )
+
+print(
+    "\nThe plain encoder pays a wide bit width for every row because a "
+    "few exception\njumps inflate the delta domain; storing the patches "
+    "verbatim keeps the main\nstream at the narrow width the sorted "
+    "majority actually needs."
+)

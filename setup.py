@@ -1,0 +1,5 @@
+"""Setuptools shim for legacy editable installs (offline, no wheel pkg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — PatchIndex: approximate constraints in self-managing databases.
+
+A full Python reproduction of *PatchIndex — Exploiting Approximate
+Constraints in Self-managing Databases* (Klaebe, Sattler, Baumann,
+ICDE 2020): a vectorized columnar engine substrate, the PatchIndex
+structure for nearly unique / nearly sorted columns, constraint
+discovery, the PatchedScan, and the distinct / sort / join query
+rewrites, plus a self-management advisor, incremental maintenance and a
+rewrite cost model.
+
+Quick start::
+
+    from repro import Database
+
+    db = Database()
+    db.sql("CREATE TABLE t (k BIGINT, v BIGINT)")
+    db.sql("INSERT INTO t VALUES (1, 10), (2, 20), (2, 30)")
+    db.sql("CREATE PATCHINDEX pi_k ON t(k) TYPE UNIQUE")
+    print(db.sql("SELECT COUNT(DISTINCT k) AS n FROM t").pretty())
+"""
+
+from repro.errors import (
+    ReproError,
+    CatalogError,
+    SchemaError,
+    ConstraintError,
+    ThresholdExceededError,
+    ExecutionError,
+    PlanError,
+    SqlError,
+)
+from repro.types import DataType
+from repro.storage import (
+    Field,
+    Schema,
+    ColumnVector,
+    Table,
+    Catalog,
+    Database,
+    WriteAheadLog,
+)
+from repro.core import (
+    PatchIndex,
+    PatchIndexMode,
+    PatchSet,
+    IdentifierPatches,
+    BitmapPatches,
+    ConstraintKind,
+    ConstraintAdvisor,
+    CostModel,
+    discover_nuc_patches,
+    discover_nsc_patches,
+    longest_sorted_subsequence_indices,
+)
+from repro.exec.result import QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "CatalogError",
+    "SchemaError",
+    "ConstraintError",
+    "ThresholdExceededError",
+    "ExecutionError",
+    "PlanError",
+    "SqlError",
+    "DataType",
+    "Field",
+    "Schema",
+    "ColumnVector",
+    "Table",
+    "Catalog",
+    "Database",
+    "WriteAheadLog",
+    "PatchIndex",
+    "PatchIndexMode",
+    "PatchSet",
+    "IdentifierPatches",
+    "BitmapPatches",
+    "ConstraintKind",
+    "ConstraintAdvisor",
+    "CostModel",
+    "discover_nuc_patches",
+    "discover_nsc_patches",
+    "longest_sorted_subsequence_indices",
+    "QueryResult",
+]

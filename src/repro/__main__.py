@@ -1,0 +1,85 @@
+r"""Interactive SQL shell:  ``python -m repro [wal-path]``.
+
+A minimal REPL over :class:`repro.storage.database.Database` — enough
+to poke at PatchIndexes interactively:
+
+    $ python -m repro
+    repro> CREATE TABLE t (c BIGINT);
+    repro> INSERT INTO t VALUES (1), (2), (2);
+    repro> CREATE PATCHINDEX pi ON t(c) TYPE UNIQUE;
+    repro> SELECT COUNT(DISTINCT c) AS n FROM t;
+    repro> \d            -- describe tables and indexes
+    repro> EXPLAIN SELECT DISTINCT c FROM t;
+    repro> \q
+
+Statements may span lines; they execute at the terminating semicolon.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import ReproError
+from repro.storage.database import Database
+
+_BANNER = (
+    "repro — PatchIndex reproduction shell. "
+    "End statements with ';'.  \\d describes, \\q quits."
+)
+
+
+def run_shell(
+    database: Database,
+    input_stream=None,
+    output=None,
+) -> int:
+    """Drive the REPL; returns an exit code.  Streams are injectable
+    for tests; ``input_stream=None`` uses interactive ``input()``."""
+    out = output or sys.stdout
+
+    def emit(text: str) -> None:
+        print(text, file=out)
+
+    emit(_BANNER)
+    buffer: list[str] = []
+    lines = iter(input_stream) if input_stream is not None else None
+    while True:
+        prompt = "repro> " if not buffer else "  ...> "
+        if lines is not None:
+            line = next(lines, None)
+            if line is None:
+                return 0
+            line = line.rstrip("\n")
+        else:  # pragma: no cover - interactive path
+            try:
+                line = input(prompt)
+            except EOFError:
+                return 0
+        stripped = line.strip()
+        if not buffer and stripped in ("\\q", "quit", "exit"):
+            return 0
+        if not buffer and stripped == "\\d":
+            emit(database.describe() or "(empty catalog)")
+            continue
+        if not stripped and not buffer:
+            continue
+        buffer.append(line)
+        if not stripped.endswith(";"):
+            continue
+        statement = "\n".join(buffer)
+        buffer = []
+        try:
+            result = database.sql(statement)
+            emit(result.pretty())
+        except ReproError as error:
+            emit(f"error: {error}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    wal_path = argv[0] if argv else None
+    return run_shell(Database(wal_path))
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

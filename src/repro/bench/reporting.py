@@ -1,0 +1,59 @@
+"""Plain-text tables for the benchmark output.
+
+The benchmarks print the same rows/series the paper's tables and
+figures report, so ``bench_output.txt`` can be compared to the paper
+side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells))
+        if cells
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append(
+        " | ".join(str(header).ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    unit: str = "ms",
+) -> str:
+    """One row per x value, one column per series — a figure as a table."""
+    headers = [x_label] + [f"{name} [{unit}]" for name in series]
+    rows = []
+    for position, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[position])
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

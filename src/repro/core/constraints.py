@@ -1,0 +1,120 @@
+"""Formal NUC / NSC definitions and validators (paper §III).
+
+A column ``c`` of relation ``R`` with patch set ``P_c`` is a
+
+- **nearly unique column (NUC)** when
+  (NUC1) ``PROJ(R\\P, c)`` is unique,
+  (NUC2) ``PROJ(R\\P, c) ∩ PROJ(R_P, c) = ∅``, and
+  (NUC3) ``|P_c| / |R| <= nuc_threshold``;
+- **nearly sorted column (NSC)** when
+  (NSC1) ``R\\P`` is sorted on ``c`` in rowid order under the order
+  relation, and
+  (NSC2) ``|P_c| / |R| <= nsc_threshold``.
+
+NULL values always belong to the patch set for both constraint kinds.
+The validators here are the ground truth used by the test suite
+(including property-based tests) to check everything the discovery code
+and the maintenance code produce.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.storage.column import ColumnVector
+
+
+class ConstraintKind(enum.Enum):
+    """The two approximate constraints handled by the PatchIndex."""
+
+    UNIQUE = "unique"
+    SORTED = "sorted"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ConstraintKind":
+        return cls(name.strip().lower())
+
+
+def exception_rate(patch_count: int, row_count: int) -> float:
+    """``|P_c| / |R|`` with the empty-relation convention of 0.0."""
+    if row_count == 0:
+        return 0.0
+    return patch_count / row_count
+
+
+def _split(column: ColumnVector, patch_rowids: np.ndarray):
+    """Split a column into (kept values, patch values, kept validity, patch validity)."""
+    is_patch = np.zeros(len(column), dtype=np.bool_)
+    is_patch[patch_rowids] = True
+    kept = column.filter(~is_patch)
+    patched = column.filter(is_patch)
+    return kept, patched
+
+
+def check_nuc(
+    column: ColumnVector,
+    patch_rowids: np.ndarray,
+    threshold: float = 1.0,
+) -> bool:
+    """Validate conditions NUC1–NUC3 for a proposed patch set."""
+    patch_rowids = np.asarray(patch_rowids, dtype=np.int64)
+    if exception_rate(len(patch_rowids), len(column)) > threshold:
+        return False  # NUC3
+    kept, patched = _split(column, patch_rowids)
+    if kept.has_nulls:
+        return False  # NULLs must be patches
+    kept_values = kept.values
+    if len(kept_values) != len(set(kept_values.tolist())):
+        return False  # NUC1
+    if patched.validity is None:
+        patched_values = patched.values
+    else:
+        patched_values = patched.values[patched.validity]
+    kept_set = set(kept_values.tolist())
+    if any(value in kept_set for value in patched_values.tolist()):
+        return False  # NUC2
+    return True
+
+
+def check_nsc(
+    column: ColumnVector,
+    patch_rowids: np.ndarray,
+    threshold: float = 1.0,
+    ascending: bool = True,
+    strict: bool = False,
+) -> bool:
+    """Validate conditions NSC1–NSC2 for a proposed patch set."""
+    patch_rowids = np.asarray(patch_rowids, dtype=np.int64)
+    if exception_rate(len(patch_rowids), len(column)) > threshold:
+        return False  # NSC2
+    kept, __ = _split(column, patch_rowids)
+    if kept.has_nulls:
+        return False  # NULLs must be patches
+    return values_are_sorted(kept.values, ascending=ascending, strict=strict)
+
+
+def values_are_sorted(
+    values: np.ndarray, ascending: bool = True, strict: bool = False
+) -> bool:
+    """True when *values* is sorted under the given order relation."""
+    if len(values) < 2:
+        return True
+    if values.dtype == np.dtype(object):
+        pairs = zip(values[:-1], values[1:])
+        if ascending and strict:
+            return all(a < b for a, b in pairs)
+        if ascending:
+            return all(a <= b for a, b in pairs)
+        if strict:
+            return all(a > b for a, b in pairs)
+        return all(a >= b for a, b in pairs)
+    left, right = values[:-1], values[1:]
+    if ascending and strict:
+        return bool((left < right).all())
+    if ascending:
+        return bool((left <= right).all())
+    if strict:
+        return bool((left > right).all())
+    return bool((left >= right).all())

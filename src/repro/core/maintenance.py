@@ -1,0 +1,301 @@
+"""Incremental PatchIndex maintenance under inserts, deletes and updates.
+
+The paper names lightweight support for table mutations as the key
+follow-up feature of PatchIndexes (§VIII): because the index already
+*maintains exceptions*, a mutation that would violate the constraint can
+simply add the offending tuples to the patch set instead of forcing a
+full table scan or rejecting the write.
+
+This module implements that idea with a deliberately *conservative*
+policy: the maintained patch set always remains **correct** (all NUC/NSC
+conditions keep holding over ``R \\ P_c``) but is allowed to drift away
+from **minimal**.  Re-creating the index re-establishes minimality; the
+drift is observable through :class:`MaintenanceStats` so a
+self-management tool can schedule a rebuild.
+
+Policies per event:
+
+**append** (new rows at the end of the last partition)
+    - NSC: greedy extension — an appended value that does not break the
+      partition's sorted tail is kept, anything else (including NULL)
+      becomes a patch.  ``O(1)`` per row.
+    - NUC: a value equal to a kept value moves *both* rows into the
+      patch set (condition NUC2); values equal to existing patch values
+      and NULLs become patches; fresh values are kept.  ``O(1)``
+      expected per row using a kept-value hash map built lazily on the
+      first mutation.
+
+**delete**
+    - patch sets are remapped to the new dense rowid numbering; deleting
+      rows never un-sorts a sorted remainder nor un-uniquifies unique
+      values, so no new patches arise.  (A patch value whose duplicates
+      were all deleted could be *promoted* back; we skip promotion —
+      conservative, still correct.)
+
+**update** (point update of the indexed column)
+    - the updated row joins the patch set; for NUC, a kept row holding
+      the new value is demoted as well (NUC2).  Updates to other columns
+      are ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.constraints import ConstraintKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.patch_index import PatchIndex
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters describing how far the patch set drifted from minimal."""
+
+    appends_handled: int = 0
+    deletes_handled: int = 0
+    updates_handled: int = 0
+    rows_appended: int = 0
+    patches_added: int = 0
+    kept_rows_demoted: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class IndexMaintainer:
+    """Applies table mutation events to one PatchIndex."""
+
+    def __init__(self, index: "PatchIndex"):
+        self.index = index
+        self.stats = MaintenanceStats()
+        # NUC state (lazy): python-level kept value -> global rowid, and
+        # the set of values currently present among (valid) patches.
+        self._kept_value_rowids: dict | None = None
+        self._patch_values: set | None = None
+        # NSC state (lazy): per-partition value of the last kept row.
+        self._last_kept: list[object] | None = None
+
+    # -- event dispatch ---------------------------------------------------
+
+    def handle(self, event: str, payload: dict) -> None:
+        if event == "append":
+            self._handle_append(payload)
+        elif event == "delete":
+            self._handle_delete(payload)
+        elif event == "update":
+            self._handle_update(payload)
+        # Unknown events are ignored: forward compatibility with new
+        # table mutations that do not affect constraint validity.
+
+    # -- lazy state ----------------------------------------------------------
+
+    def _ensure_nuc_state(self) -> None:
+        if self._kept_value_rowids is not None:
+            return
+        index = self.index
+        kept: dict = {}
+        patch_values: set = set()
+        # The patch set's row_count is the number of rows it has already
+        # accounted for; during an append the partition may briefly hold
+        # more (the event's new rows are handled by the append logic,
+        # not by this snapshot).
+        masks: list[np.ndarray] = []
+        for partition, patches in zip(
+            index.table.partitions, index._partition_patches
+        ):
+            column = partition.column(index.column_name)
+            mask = patches.mask_for_range(0, patches.row_count)
+            masks.append(mask)
+            for local in np.flatnonzero(mask):
+                value = column[int(local)]
+                if value is not None:
+                    patch_values.add(value)
+        # Kept pass, after all patch values are known: a snapshot taken
+        # mid-update may show NUC2 violations, which are self-healed by
+        # demoting the offending kept rows.
+        for partition, mask in zip(index.table.partitions, masks):
+            column = partition.column(index.column_name)
+            for local in np.flatnonzero(~mask):
+                value = column[int(local)]
+                global_rowid = partition.base_rowid + int(local)
+                if value in patch_values:
+                    self._demote_global_rowids([global_rowid])
+                    self.stats.kept_rows_demoted += 1
+                elif value in kept:
+                    self._demote_global_rowids([kept.pop(value), global_rowid])
+                    patch_values.add(value)
+                    self.stats.kept_rows_demoted += 2
+                else:
+                    kept[value] = global_rowid
+        self._kept_value_rowids = kept
+        self._patch_values = patch_values
+
+    def _ensure_nsc_state(self) -> None:
+        if self._last_kept is not None:
+            return
+        last_kept: list[object] = []
+        for partition, patches in zip(
+            self.index.table.partitions, self.index._partition_patches
+        ):
+            # See _ensure_nuc_state: only the rows the patch set has
+            # already accounted for belong in the snapshot.
+            mask = patches.mask_for_range(0, patches.row_count)
+            kept_positions = np.flatnonzero(~mask)
+            if len(kept_positions) == 0:
+                last_kept.append(None)
+            else:
+                column = partition.column(self.index.column_name)
+                last_kept.append(column[int(kept_positions[-1])])
+        if self.index.scope == "global":
+            # Appended rows must extend the *global* sorted order, whose
+            # tail is the last kept value of the last non-empty
+            # partition in rowid order.
+            tail = None
+            for value in last_kept:
+                if value is not None:
+                    tail = value
+            last_kept = [tail] * len(last_kept)
+        self._last_kept = last_kept
+
+    def _invalidate(self) -> None:
+        self._kept_value_rowids = None
+        self._patch_values = None
+        self._last_kept = None
+
+    # -- append -----------------------------------------------------------------
+
+    def _handle_append(self, payload: dict) -> None:
+        index = self.index
+        partition_id = payload["partition_id"]
+        columns = payload["columns"]
+        row_count = payload["row_count"]
+        column = columns[index.column_name]
+        patches = index._partition_patches[partition_id]
+        old_partition_rows = patches.row_count
+        new_partition_rows = old_partition_rows + row_count
+        partition_base = index.table.partitions[partition_id].base_rowid
+
+        if index.constraint_kind == ConstraintKind.SORTED:
+            self._ensure_nsc_state()
+            assert self._last_kept is not None
+            last = self._last_kept[partition_id]
+            new_local_patches: list[int] = []
+            for offset in range(row_count):
+                value = column[offset]
+                if value is None or not self._extends(last, value):
+                    new_local_patches.append(old_partition_rows + offset)
+                else:
+                    last = value
+            self._last_kept[partition_id] = last
+            patches.extend(
+                new_partition_rows,
+                np.asarray(new_local_patches, dtype=np.int64),
+            )
+            self.stats.patches_added += len(new_local_patches)
+        else:
+            self._ensure_nuc_state()
+            assert self._kept_value_rowids is not None
+            assert self._patch_values is not None
+            new_local_patches: list[int] = []
+            demoted_global: list[int] = []
+            for offset in range(row_count):
+                value = column[offset]
+                local = old_partition_rows + offset
+                global_rowid = partition_base + local
+                if value is None:
+                    new_local_patches.append(local)
+                elif value in self._patch_values:
+                    new_local_patches.append(local)
+                elif value in self._kept_value_rowids:
+                    # NUC2: demote the previously-kept twin as well.
+                    demoted_global.append(self._kept_value_rowids.pop(value))
+                    self._patch_values.add(value)
+                    new_local_patches.append(local)
+                else:
+                    self._kept_value_rowids[value] = global_rowid
+            patches.extend(
+                new_partition_rows,
+                np.asarray(new_local_patches, dtype=np.int64),
+            )
+            self._demote_global_rowids(demoted_global)
+            self.stats.patches_added += len(new_local_patches) + len(demoted_global)
+            self.stats.kept_rows_demoted += len(demoted_global)
+
+        self.stats.appends_handled += 1
+        self.stats.rows_appended += row_count
+
+    def _extends(self, last: object, value: object) -> bool:
+        """Does *value* extend the sorted tail ending at *last*?"""
+        if last is None:
+            return True
+        if self.index.ascending:
+            return last < value if self.index.strict else last <= value
+        return last > value if self.index.strict else last >= value
+
+    def _demote_global_rowids(self, rowids: list[int]) -> None:
+        """Move previously-kept rows (global rowids) into the patch sets."""
+        if not rowids:
+            return
+        index = self.index
+        for global_rowid in rowids:
+            partition = index.table.partition_of_rowid(global_rowid)
+            patches = index._partition_patches[partition.partition_id]
+            patches.add(
+                np.asarray([global_rowid - partition.base_rowid], dtype=np.int64)
+            )
+
+    # -- delete ---------------------------------------------------------------------
+
+    def _handle_delete(self, payload: dict) -> None:
+        index = self.index
+        for partition_id, local_deleted in payload["per_partition"]:
+            if len(local_deleted) == 0:
+                continue
+            index._partition_patches[partition_id].remap_after_delete(
+                np.asarray(local_deleted, dtype=np.int64)
+            )
+        # Kept-value rowids and sorted tails may have shifted; rebuild on
+        # the next mutation that needs them.
+        self._invalidate()
+        self.stats.deletes_handled += 1
+
+    # -- update ----------------------------------------------------------------------
+
+    def _handle_update(self, payload: dict) -> None:
+        index = self.index
+        if payload["column"] != index.column_name:
+            return
+        rowid = payload["rowid"]
+        partition = index.table.partitions[payload["partition_id"]]
+        patches = index._partition_patches[partition.partition_id]
+        local = rowid - partition.base_rowid
+        was_patch = patches.contains(local)
+        new_value = payload["value"]
+        old_value = payload["old_value"]
+
+        if index.constraint_kind == ConstraintKind.UNIQUE:
+            self._ensure_nuc_state()
+            assert self._kept_value_rowids is not None
+            assert self._patch_values is not None
+            if not was_patch and self._kept_value_rowids.get(old_value) == rowid:
+                del self._kept_value_rowids[old_value]
+            if new_value is not None:
+                twin = self._kept_value_rowids.pop(new_value, None)
+                if twin is not None and twin != rowid:
+                    self._demote_global_rowids([twin])
+                    self.stats.kept_rows_demoted += 1
+                self._patch_values.add(new_value)
+        else:
+            if not was_patch:
+                # The updated row leaves the sorted subsequence; any
+                # cached tail snapshot may reference it (and may even
+                # have been built after the new value was written), so
+                # recompute lazily once the row is in the patch set.
+                self._last_kept = None
+
+        if not was_patch:
+            patches.add(np.asarray([local], dtype=np.int64))
+            self.stats.patches_added += 1
+        self.stats.updates_handled += 1

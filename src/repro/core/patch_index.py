@@ -1,0 +1,368 @@
+"""The PatchIndex structure (paper §V).
+
+A PatchIndex maintains the set of patches ``P_c`` for one column of one
+table.  Partitioning is transparent: the index holds one
+:class:`~repro.core.patches.PatchSet` per table partition in the
+partition-local rowid space (paper §VI-A2), and translates global rowid
+ranges to the owning partitions when queried by the PatchSelect
+operator.
+
+Physical design selection follows §V: the caller picks the
+identifier-based or bitmap-based representation explicitly, or leaves it
+to ``AUTO`` which selects identifier-based when the discovered exception
+rate is at most ``1/64 ≈ 1.56 %`` and bitmap-based otherwise — the
+memory crossover point of 64-bit rowids vs 1 bit per tuple.
+
+Index creation runs the discovery of :mod:`repro.core.discovery`
+("AppendToIndex" post-query in the paper) and records wall-clock
+creation time, which the Figure-6 benchmark reports.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constraints import ConstraintKind
+from repro.core.discovery import DiscoveryResult, discover
+from repro.core.patches import CROSSOVER_RATE, PatchSet
+from repro.errors import StorageError, ThresholdExceededError
+from repro.storage.table import Table
+
+
+class PatchIndexMode(enum.Enum):
+    """Physical design selector for the patch sets."""
+
+    AUTO = "auto"
+    IDENTIFIER = "identifier"
+    BITMAP = "bitmap"
+
+    def resolve(self, rate: float) -> str:
+        """Concrete design for a discovered exception *rate*."""
+        if self == PatchIndexMode.IDENTIFIER:
+            return "identifier"
+        if self == PatchIndexMode.BITMAP:
+            return "bitmap"
+        return "identifier" if rate <= CROSSOVER_RATE else "bitmap"
+
+
+@dataclass(frozen=True)
+class PatchIndexStats:
+    """Summary statistics of a PatchIndex (used by EXPLAIN and benchmarks)."""
+
+    name: str
+    table_name: str
+    column_name: str
+    kind: str
+    design: str
+    row_count: int
+    patch_count: int
+    exception_rate: float
+    memory_bytes: int
+    creation_seconds: float
+    partition_patch_counts: tuple[int, ...]
+
+
+class PatchIndex:
+    """An index over the constraint-violating tuples of one column."""
+
+    def __init__(
+        self,
+        name: str,
+        table: Table,
+        column_name: str,
+        kind: ConstraintKind,
+        partition_patches: list[PatchSet],
+        threshold: float,
+        ascending: bool = True,
+        strict: bool = False,
+        scope: str = "global",
+        creation_seconds: float = 0.0,
+    ):
+        if len(partition_patches) != table.partition_count:
+            raise StorageError(
+                "one PatchSet per table partition is required "
+                f"({len(partition_patches)} != {table.partition_count})"
+            )
+        self.name = name
+        self.table = table
+        self.column_name = column_name
+        self.constraint_kind = kind
+        self.threshold = threshold
+        self.ascending = ascending
+        self.strict = strict
+        self.scope = scope
+        self.creation_seconds = creation_seconds
+        self._partition_patches = partition_patches
+        self._maintainer = None  # lazily built by repro.core.maintenance
+        self._listener = self._on_table_event
+        table.add_listener(self._listener)
+
+    # -- catalog duck-typed surface ----------------------------------------
+
+    @property
+    def table_name(self) -> str:
+        return self.table.name
+
+    @property
+    def kind(self) -> str:
+        """Constraint kind as a string ("unique" / "sorted")."""
+        return self.constraint_kind.value
+
+    @property
+    def design(self) -> str:
+        """Physical design actually in use ("identifier" / "bitmap")."""
+        return self._partition_patches[0].design if self._partition_patches else "identifier"
+
+    def detach(self) -> None:
+        """Unregister from table mutation events (called on DROP)."""
+        try:
+            self.table.remove_listener(self._listener)
+        except ValueError:  # already detached
+            pass
+
+    # -- creation ------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        table: Table,
+        column_name: str,
+        kind: ConstraintKind | str,
+        mode: PatchIndexMode = PatchIndexMode.AUTO,
+        threshold: float = 1.0,
+        ascending: bool = True,
+        strict: bool = False,
+        scope: str = "global",
+    ) -> "PatchIndex":
+        """Discover patches and build the index (the "AppendToIndex" path).
+
+        Raises :class:`~repro.errors.ThresholdExceededError` when the
+        discovered exception rate is above *threshold* — the column then
+        is not a NUC/NSC under that threshold (conditions NUC3/NSC2).
+        """
+        if isinstance(kind, str):
+            kind = ConstraintKind.from_name(kind)
+        table.schema.field(column_name)  # validate the column exists
+        started = time.perf_counter()
+        result = discover(
+            table, column_name, kind, ascending=ascending, strict=strict,
+            scope=scope,
+        )
+        if not result.satisfies(threshold):
+            raise ThresholdExceededError(
+                column_name, result.exception_rate, threshold
+            )
+        design = mode.resolve(result.exception_rate)
+        partition_patches = [
+            PatchSet.build(local_rowids, rows, design)
+            for local_rowids, rows in zip(
+                result.per_partition_rowids, result.partition_row_counts
+            )
+        ]
+        elapsed = time.perf_counter() - started
+        return cls(
+            name,
+            table,
+            column_name,
+            kind,
+            partition_patches,
+            threshold,
+            ascending=ascending,
+            strict=strict,
+            scope=scope,
+            creation_seconds=elapsed,
+        )
+
+    @classmethod
+    def from_discovery(
+        cls,
+        name: str,
+        table: Table,
+        column_name: str,
+        result: DiscoveryResult,
+        mode: PatchIndexMode = PatchIndexMode.AUTO,
+        threshold: float = 1.0,
+        ascending: bool = True,
+        strict: bool = False,
+        scope: str = "global",
+    ) -> "PatchIndex":
+        """Build an index from an already-computed discovery result."""
+        if not result.satisfies(threshold):
+            raise ThresholdExceededError(
+                column_name, result.exception_rate, threshold
+            )
+        design = mode.resolve(result.exception_rate)
+        partition_patches = [
+            PatchSet.build(local_rowids, rows, design)
+            for local_rowids, rows in zip(
+                result.per_partition_rowids, result.partition_row_counts
+            )
+        ]
+        return cls(
+            name,
+            table,
+            column_name,
+            result.kind,
+            partition_patches,
+            threshold,
+            ascending=ascending,
+            strict=strict,
+            scope=scope,
+        )
+
+    # -- query surface (used by PatchSelect) ------------------------------------
+
+    def mask_for_range(self, start: int, stop: int) -> np.ndarray:
+        """Boolean patch-membership mask for the global rowid range
+        ``[start, stop)``, stitched across partitions.
+
+        This is what both PatchSelect modes consume: ``use_patches``
+        keeps rows where the mask is True, ``exclude_patches`` keeps the
+        complement.
+        """
+        if start == stop:
+            return np.zeros(0, dtype=np.bool_)
+        pieces: list[np.ndarray] = []
+        covered = start
+        for partition, patches in zip(
+            self.table.partitions, self._partition_patches
+        ):
+            p_start, p_stop = partition.rowid_range
+            lo = max(covered, p_start)
+            hi = min(stop, p_stop)
+            if lo >= hi:
+                continue
+            pieces.append(
+                patches.mask_for_range(lo - p_start, hi - p_start)
+            )
+            covered = hi
+        if covered != stop:
+            raise StorageError(
+                f"rowid range [{start}, {stop}) exceeds table "
+                f"(covered up to {covered})"
+            )
+        if len(pieces) == 1:
+            return pieces[0]
+        return np.concatenate(pieces)
+
+    def partition_patches(self, partition_id: int) -> PatchSet:
+        """The partition-local patch set (partition-transparent access)."""
+        return self._partition_patches[partition_id]
+
+    def rowids(self) -> np.ndarray:
+        """All patch rowids in the global rowid space, ascending."""
+        pieces = [
+            patches.rowids() + partition.base_rowid
+            for partition, patches in zip(
+                self.table.partitions, self._partition_patches
+            )
+        ]
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def contains(self, rowid: int) -> bool:
+        partition = self.table.partition_of_rowid(rowid)
+        patches = self._partition_patches[partition.partition_id]
+        return patches.contains(rowid - partition.base_rowid)
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def patch_count(self) -> int:
+        return sum(patches.patch_count() for patches in self._partition_patches)
+
+    @property
+    def exception_rate(self) -> float:
+        rows = self.table.row_count
+        if rows == 0:
+            return 0.0
+        return self.patch_count / rows
+
+    def memory_usage_bytes(self) -> int:
+        return sum(
+            patches.memory_usage_bytes() for patches in self._partition_patches
+        )
+
+    def stats(self) -> PatchIndexStats:
+        return PatchIndexStats(
+            name=self.name,
+            table_name=self.table_name,
+            column_name=self.column_name,
+            kind=self.kind,
+            design=self.design,
+            row_count=self.table.row_count,
+            patch_count=self.patch_count,
+            exception_rate=self.exception_rate,
+            memory_bytes=self.memory_usage_bytes(),
+            creation_seconds=self.creation_seconds,
+            partition_patch_counts=tuple(
+                patches.patch_count() for patches in self._partition_patches
+            ),
+        )
+
+    def describe(self) -> str:
+        stats = self.stats()
+        return (
+            f"patchindex {stats.name} on {stats.table_name}({stats.column_name}) "
+            f"kind={stats.kind} design={stats.design} "
+            f"patches={stats.patch_count}/{stats.row_count} "
+            f"({stats.exception_rate:.2%}) mem={stats.memory_bytes}B"
+        )
+
+    # -- maintenance plumbing ------------------------------------------------------
+
+    def maintenance_stats(self):
+        """Counters describing patch-set drift since creation, or None
+        when the table has not been mutated (see
+        :class:`repro.core.maintenance.MaintenanceStats`)."""
+        if self._maintainer is None:
+            return None
+        return self._maintainer.stats
+
+    def drift_rate(self) -> float:
+        """Patches added by conservative maintenance relative to the
+        table size — a self-management tool's rebuild signal."""
+        stats = self.maintenance_stats()
+        if stats is None or self.table.row_count == 0:
+            return 0.0
+        return stats.patches_added / self.table.row_count
+
+    def rebuild(self) -> None:
+        """Re-run discovery to restore a minimal patch set (and the
+        design choice), discarding maintenance drift."""
+        from repro.core.discovery import discover
+        from repro.core.patches import PatchSet
+
+        result = discover(
+            self.table,
+            self.column_name,
+            self.constraint_kind,
+            ascending=self.ascending,
+            strict=self.strict,
+            scope=self.scope,
+        )
+        design = PatchIndexMode.AUTO.resolve(result.exception_rate)
+        self._partition_patches = [
+            PatchSet.build(local_rowids, rows, design)
+            for local_rowids, rows in zip(
+                result.per_partition_rowids, result.partition_row_counts
+            )
+        ]
+        self._maintainer = None
+
+    def _on_table_event(self, event: str, payload: dict) -> None:
+        """Forward table mutations to the incremental maintainer."""
+        from repro.core.maintenance import IndexMaintainer
+
+        if self._maintainer is None:
+            self._maintainer = IndexMaintainer(self)
+        self._maintainer.handle(event, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PatchIndex({self.describe()})"

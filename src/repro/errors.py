@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro engine.
+
+All errors raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses are
+raised close to the failure site and carry a human-readable message.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CatalogError(ReproError):
+    """A catalog object (table, index) is missing or already exists."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a column reference cannot be resolved."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value or expression has an incompatible data type."""
+
+
+class StorageError(ReproError):
+    """Low-level storage invariant violated (rowids, partitions, blocks)."""
+
+
+class ConstraintError(ReproError):
+    """An approximate-constraint definition or validation failed."""
+
+
+class ThresholdExceededError(ConstraintError):
+    """The discovered exception rate exceeds the configured threshold."""
+
+    def __init__(self, column: str, rate: float, threshold: float):
+        self.column = column
+        self.rate = rate
+        self.threshold = threshold
+        super().__init__(
+            f"column {column!r}: exception rate {rate:.4f} exceeds "
+            f"threshold {threshold:.4f}"
+        )
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed during query execution."""
+
+
+class PlanError(ReproError):
+    """A logical plan is invalid or cannot be converted to physical form."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class BindError(SqlError):
+    """A parsed SQL statement references unknown objects or is unsupported."""
+
+
+class WalError(ReproError):
+    """The write-ahead log is corrupt or cannot be replayed."""

@@ -1,0 +1,15 @@
+"""Vectorized query execution: batches, expressions, physical operators.
+
+The executor is volcano-style over *record batches* rather than tuples:
+each operator's :meth:`next_batch` returns a
+:class:`~repro.exec.batch.RecordBatch` of up to a few thousand rows,
+processed with NumPy kernels.  This mirrors the vectorized execution
+model of the engine the paper integrated with (Actian Vector) closely
+enough that the relative operator costs the paper exploits — hash
+aggregation, sorting, hash vs merge join — behave comparably.
+"""
+
+from repro.exec.batch import RecordBatch, DEFAULT_BATCH_SIZE
+from repro.exec.result import QueryResult, collect
+
+__all__ = ["RecordBatch", "DEFAULT_BATCH_SIZE", "QueryResult", "collect"]

@@ -1,0 +1,54 @@
+"""Operator protocol shared by all physical operators.
+
+Operators follow the classic open / next / close contract, batched:
+:meth:`next_batch` returns a :class:`~repro.exec.batch.RecordBatch` or
+``None`` at end of stream.  An operator may be re-executed by calling
+:meth:`open` again after :meth:`close`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exec.batch import RecordBatch
+from repro.storage.schema import Schema
+
+
+class Operator(abc.ABC):
+    """A physical dataflow operator."""
+
+    @property
+    @abc.abstractmethod
+    def schema(self) -> Schema:
+        """Output schema of the operator."""
+
+    @abc.abstractmethod
+    def children(self) -> list["Operator"]:
+        """Input operators (empty for leaves)."""
+
+    def open(self) -> None:
+        """Prepare for execution; default opens all children."""
+        for child in self.children():
+            child.open()
+
+    @abc.abstractmethod
+    def next_batch(self) -> RecordBatch | None:
+        """Produce the next output batch, or ``None`` when exhausted."""
+
+    def close(self) -> None:
+        """Release resources; default closes all children."""
+        for child in self.children():
+            child.close()
+
+    # -- plan introspection (EXPLAIN) ----------------------------------
+
+    def label(self) -> str:
+        """One-line description used by the plan pretty-printer."""
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        """Indented textual rendering of the operator subtree."""
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Filter operator: keep rows satisfying a predicate expression."""
+
+from __future__ import annotations
+
+from repro.exec.batch import RecordBatch
+from repro.exec.expressions import Expression, predicate_mask
+from repro.exec.operators.base import Operator
+from repro.storage.schema import Schema
+
+
+class Filter(Operator):
+    """Row filter with SQL WHERE semantics (NULL predicate → dropped)."""
+
+    def __init__(self, child: Operator, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def next_batch(self) -> RecordBatch | None:
+        while True:
+            batch = self.child.next_batch()
+            if batch is None:
+                return None
+            if len(batch) == 0:
+                continue
+            mask = predicate_mask(self.predicate, batch)
+            if not mask.any():
+                continue
+            if mask.all():
+                return batch
+            return batch.filter(mask)
+
+    def label(self) -> str:
+        return f"Filter({self.predicate})"

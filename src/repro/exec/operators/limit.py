@@ -1,0 +1,60 @@
+"""Limit/offset operator."""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.exec.batch import RecordBatch
+from repro.exec.operators.base import Operator
+from repro.storage.schema import Schema
+
+
+class Limit(Operator):
+    """Pass through at most *limit* rows, skipping the first *offset*."""
+
+    def __init__(self, child: Operator, limit: int, offset: int = 0):
+        if limit < 0 or offset < 0:
+            raise PlanError("limit/offset must be non-negative")
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self._to_skip = 0
+        self._remaining = 0
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def open(self) -> None:
+        super().open()
+        self._to_skip = self.offset
+        self._remaining = self.limit
+
+    def next_batch(self) -> RecordBatch | None:
+        while self._remaining > 0:
+            batch = self.child.next_batch()
+            if batch is None:
+                return None
+            size = len(batch)
+            if size == 0:
+                continue
+            if self._to_skip >= size:
+                self._to_skip -= size
+                continue
+            start = self._to_skip
+            self._to_skip = 0
+            stop = min(size, start + self._remaining)
+            self._remaining -= stop - start
+            if start == 0 and stop == size:
+                return batch
+            import numpy as np
+
+            return batch.take(np.arange(start, stop, dtype=np.int64))
+        return None
+
+    def label(self) -> str:
+        if self.offset:
+            return f"Limit({self.limit} OFFSET {self.offset})"
+        return f"Limit({self.limit})"

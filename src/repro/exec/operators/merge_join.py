@@ -1,0 +1,181 @@
+"""Merge join (inner equi-join of two sorted inputs).
+
+Exploits that both inputs are sorted on the join key: the right side is
+materialized once, and each left batch locates its match ranges with
+two binary searches (``searchsorted``), then expands them — the
+vectorized equivalent of advancing two merge cursors.  Per probed row
+the cost is ``O(log |right|)`` with no hash table to build, which is
+why the paper's join rewrite (§VI-B3) prefers it over HashJoin for the
+sorted subsequence of an NSC.
+
+Duplicates are allowed on both sides (full cross product per equal-key
+group); NULL keys never match.  Output order follows the left input, so
+the join preserves the left side's sortedness — a property the rewrite
+relies on when further operators expect sorted data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.exec.batch import RecordBatch
+from repro.exec.operators.base import Operator
+from repro.exec.operators.hash_join import _joined_schema
+from repro.storage.column import ColumnVector
+from repro.storage.schema import Schema
+
+
+class MergeJoin(Operator):
+    """Inner equi-join of two key-sorted inputs; left side streams."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_key: str,
+        right_key: str,
+        check_sorted: bool = False,
+    ):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.check_sorted = check_sorted
+        left.schema.field(left_key)
+        right.schema.field(right_key)
+        self._schema = _joined_schema(left.schema, right.schema)
+        self._right_data: RecordBatch | None = None
+        self._right_keys: np.ndarray | None = None
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def children(self) -> list[Operator]:
+        return [self.left, self.right]
+
+    def open(self) -> None:
+        super().open()
+        self._right_data = None
+        self._right_keys = None
+
+    def _ensure_right(self) -> None:
+        if self._right_data is not None:
+            return
+        batches: list[RecordBatch] = []
+        while True:
+            batch = self.right.next_batch()
+            if batch is None:
+                break
+            if len(batch):
+                batches.append(batch)
+        if batches:
+            data = RecordBatch.concat(batches)
+        else:
+            data = RecordBatch(
+                self.right.schema,
+                {
+                    field.name: ColumnVector.empty(field.dtype)
+                    for field in self.right.schema
+                },
+            )
+        key_column = data.column(self.right_key)
+        if key_column.has_nulls:
+            # NULL keys never join; drop them once up front.
+            data = data.filter(key_column.validity_or_all_true())
+            key_column = data.column(self.right_key)
+        keys = key_column.values
+        if self.check_sorted and len(keys) > 1:
+            if keys.dtype == np.dtype(object):
+                sorted_ok = all(a <= b for a, b in zip(keys[:-1], keys[1:]))
+            else:
+                sorted_ok = bool((keys[:-1] <= keys[1:]).all())
+            if not sorted_ok:
+                raise ExecutionError("merge-join right input is not sorted")
+        self._right_data = data
+        self._right_keys = keys
+        # Dimension tables join on their (sorted, unique) primary key;
+        # detecting uniqueness enables a cheaper probe without the
+        # duplicate-expansion machinery.
+        if len(keys) > 1 and keys.dtype != np.dtype(object):
+            self._right_unique = bool((keys[1:] > keys[:-1]).all())
+        else:
+            self._right_unique = len(keys) <= 1
+
+    def next_batch(self) -> RecordBatch | None:
+        self._ensure_right()
+        assert self._right_keys is not None
+        while True:
+            batch = self.left.next_batch()
+            if batch is None:
+                return None
+            if len(batch) == 0:
+                continue
+            key_column = batch.column(self.left_key)
+            validity = key_column.validity_or_all_true()
+            keys = key_column.values
+            if self.check_sorted:
+                # NULL keys never join, so only the valid keys must be
+                # in order.
+                valid_keys = keys[validity]
+                if len(valid_keys) > 1 and keys.dtype != np.dtype(object):
+                    if not bool((valid_keys[:-1] <= valid_keys[1:]).all()):
+                        raise ExecutionError(
+                            "merge-join left input is not sorted"
+                        )
+            lo = np.searchsorted(self._right_keys, keys, side="left")
+            if self._right_unique:
+                # Unique right keys: at most one match per probe row.
+                slots = np.minimum(lo, max(len(self._right_keys) - 1, 0))
+                if len(self._right_keys) == 0:
+                    continue
+                matched = (
+                    (lo < len(self._right_keys))
+                    & (self._right_keys[slots] == keys)
+                    & validity
+                )
+                if not matched.any():
+                    continue
+                if matched.all():
+                    # Every probe row matched once, in order: no gather
+                    # needed on the left side (the common PK/FK case).
+                    return self._emit(batch, None, lo, passthrough=True)
+                left_idx = np.flatnonzero(matched).astype(np.int64)
+                right_idx = lo[matched]
+                return self._emit(batch, left_idx, right_idx)
+            hi = np.searchsorted(self._right_keys, keys, side="right")
+            counts = (hi - lo) * validity
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            left_idx = np.repeat(
+                np.arange(len(batch), dtype=np.int64), counts
+            )
+            starts = np.repeat(lo, counts)
+            group_offsets = np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            right_idx = starts + (np.arange(total, dtype=np.int64) - group_offsets)
+            return self._emit(batch, left_idx, right_idx)
+
+    def _emit(
+        self,
+        batch: RecordBatch,
+        left_idx: np.ndarray | None,
+        right_idx: np.ndarray,
+        passthrough: bool = False,
+    ) -> RecordBatch:
+        assert self._right_data is not None
+        columns: dict[str, ColumnVector] = {}
+        for field in self.left.schema:
+            vector = batch.column(field.name)
+            columns[field.name] = vector if passthrough else vector.take(left_idx)
+        for field in self.right.schema:
+            columns[field.name] = self._right_data.column(field.name).take(
+                right_idx
+            )
+        return RecordBatch(self._schema, columns)
+
+    def label(self) -> str:
+        return f"MergeJoin({self.left_key} = {self.right_key})"

@@ -1,0 +1,137 @@
+"""Table scan with scan-range pruning and optional ``tid`` column.
+
+The scan walks partitions in order and emits batches whose rowids are
+contiguous runs of global tuple identifiers — the property the
+PatchSelect operator depends on (paper §VI-A1).
+
+Scan ranges (global ``[start, stop)`` rowid intervals) restrict the scan
+to the given intervals; they are typically produced by evaluating
+selection predicates against the per-block min/max sketches
+(:meth:`repro.storage.partition.Partition.scan_ranges_for_predicate`),
+the "small materialized aggregates" mechanism the paper references.
+
+When *with_tid* is set, the scan additionally materializes the virtual
+``tid`` column of tuple identifiers, which the paper's NUC discovery
+query selects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.exec.batch import DEFAULT_BATCH_SIZE, RecordBatch
+from repro.exec.operators.base import Operator
+from repro.storage.column import ColumnVector
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+#: Name of the virtual tuple-identifier column.
+TID_COLUMN = "tid"
+
+
+class TableScan(Operator):
+    """Scans a table, batch by batch, partition by partition."""
+
+    def __init__(
+        self,
+        table: Table,
+        columns: list[str] | None = None,
+        scan_ranges: list[tuple[int, int]] | None = None,
+        with_tid: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        self.table = table
+        self.column_names = (
+            list(columns) if columns is not None else list(table.schema.names)
+        )
+        fields = [table.schema.field(name) for name in self.column_names]
+        if with_tid:
+            if TID_COLUMN in self.column_names:
+                raise PlanError(f"table already has a {TID_COLUMN!r} column")
+            fields.append(Field(TID_COLUMN, DataType.INT64, nullable=False))
+        self._schema = Schema(fields)
+        self.with_tid = with_tid
+        self.batch_size = batch_size
+        self.scan_ranges = self._normalize_ranges(scan_ranges)
+        self._cursor: list[tuple[int, int]] | None = None
+
+    def _normalize_ranges(
+        self, scan_ranges: list[tuple[int, int]] | None
+    ) -> list[tuple[int, int]] | None:
+        """Validate, sort, merge and clip the requested scan ranges."""
+        if scan_ranges is None:
+            return None
+        total = self.table.row_count
+        cleaned: list[tuple[int, int]] = []
+        for start, stop in sorted(scan_ranges):
+            start = max(0, start)
+            stop = min(total, stop)
+            if start >= stop:
+                continue
+            if cleaned and start <= cleaned[-1][1]:
+                cleaned[-1] = (cleaned[-1][0], max(cleaned[-1][1], stop))
+            else:
+                cleaned.append((start, stop))
+        return cleaned
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def children(self) -> list[Operator]:
+        return []
+
+    def open(self) -> None:
+        # Pre-compute the batch work list: (start, stop) global ranges
+        # never crossing a partition boundary, each at most batch_size.
+        pieces: list[tuple[int, int]] = []
+        ranges = (
+            self.scan_ranges
+            if self.scan_ranges is not None
+            else [(0, self.table.row_count)]
+        )
+        for partition in self.table.partitions:
+            p_start, p_stop = partition.rowid_range
+            for r_start, r_stop in ranges:
+                lo = max(p_start, r_start)
+                hi = min(p_stop, r_stop)
+                position = lo
+                while position < hi:
+                    stop = min(position + self.batch_size, hi)
+                    pieces.append((position, stop))
+                    position = stop
+        pieces.reverse()  # pop() from the end keeps order
+        self._cursor = pieces
+
+    def next_batch(self) -> RecordBatch | None:
+        if self._cursor is None:
+            raise PlanError("scan used before open()")
+        if not self._cursor:
+            return None
+        start, stop = self._cursor.pop()
+        partition = self.table.partition_of_rowid(start)
+        local_start = start - partition.base_rowid
+        local_stop = stop - partition.base_rowid
+        columns: dict[str, ColumnVector] = {
+            name: partition.column(name).slice(local_start, local_stop)
+            for name in self.column_names
+        }
+        rowids = np.arange(start, stop, dtype=np.int64)
+        if self.with_tid:
+            columns[TID_COLUMN] = ColumnVector(DataType.INT64, rowids)
+        return RecordBatch(self._schema, columns, rowids)
+
+    def close(self) -> None:
+        self._cursor = None
+
+    def label(self) -> str:
+        parts = [f"TableScan({self.table.name}"]
+        if self.scan_ranges is not None:
+            covered = sum(stop - start for start, stop in self.scan_ranges)
+            parts.append(f", ranges={len(self.scan_ranges)} rows={covered}")
+        if self.with_tid:
+            parts.append(", +tid")
+        parts.append(")")
+        return "".join(parts)

@@ -1,0 +1,65 @@
+"""UnionAll operator: concatenate child dataflows (bag semantics).
+
+This is the operator recombining the ``exclude_patches`` and
+``use_patches`` branches of the distinct rewrite (paper §VI-B1, Fig. 3).
+Children are drained in order; schemas must match by type (names may
+differ — the first child's names win).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.exec.batch import RecordBatch
+from repro.exec.operators.base import Operator
+from repro.storage.schema import Schema
+
+
+class UnionAll(Operator):
+    """Sequential concatenation of several inputs."""
+
+    def __init__(self, inputs: list[Operator]):
+        if not inputs:
+            raise PlanError("union requires at least one input")
+        first = inputs[0].schema
+        for other in inputs[1:]:
+            if tuple(field.dtype for field in other.schema) != tuple(
+                field.dtype for field in first
+            ):
+                raise PlanError("union inputs have mismatched column types")
+        self.inputs = list(inputs)
+        self._schema = first
+        self._current = 0
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def children(self) -> list[Operator]:
+        return list(self.inputs)
+
+    def open(self) -> None:
+        super().open()
+        self._current = 0
+
+    def next_batch(self) -> RecordBatch | None:
+        while self._current < len(self.inputs):
+            batch = self.inputs[self._current].next_batch()
+            if batch is None:
+                self._current += 1
+                continue
+            if len(batch) == 0:
+                continue
+            return self._rename(batch)
+
+    def _rename(self, batch: RecordBatch) -> RecordBatch:
+        """Re-key a later child's batch to the union's column names."""
+        if batch.schema == self._schema:
+            return batch
+        columns = {
+            field.name: batch.column(original.name)
+            for field, original in zip(self._schema, batch.schema)
+        }
+        return RecordBatch(self._schema, columns)
+
+    def label(self) -> str:
+        return f"UnionAll({len(self.inputs)} inputs)"

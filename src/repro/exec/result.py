@@ -1,0 +1,130 @@
+"""Materialized query results.
+
+:func:`collect` drains a physical operator tree into a
+:class:`QueryResult` — the object returned by
+:meth:`repro.storage.database.Database.sql`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.exec.batch import RecordBatch
+from repro.storage.column import ColumnVector
+from repro.storage.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.operators.base import Operator
+
+
+class QueryResult:
+    """A fully materialized result set with named, typed columns."""
+
+    def __init__(self, schema: Schema, columns: dict[str, ColumnVector]):
+        self.schema = schema
+        self.columns = columns
+
+    @classmethod
+    def empty(cls, schema: Schema | None = None) -> "QueryResult":
+        schema = schema if schema is not None else Schema([])
+        return cls(
+            schema,
+            {field.name: ColumnVector.empty(field.dtype) for field in schema},
+        )
+
+    @classmethod
+    def from_batches(
+        cls, schema: Schema, batches: list[RecordBatch]
+    ) -> "QueryResult":
+        if not batches:
+            return cls.empty(schema)
+        merged = RecordBatch.concat(batches)
+        return cls(schema, merged.columns)
+
+    @property
+    def row_count(self) -> int:
+        for vector in self.columns.values():
+            return len(vector)
+        return 0
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self.schema.names
+
+    def column(self, name: str) -> ColumnVector:
+        return self.columns[name]
+
+    def to_pydict(self) -> dict[str, list[object]]:
+        return {
+            field.name: self.columns[field.name].to_pylist()
+            for field in self.schema
+        }
+
+    def to_pylist(self) -> list[tuple[object, ...]]:
+        """Rows as tuples, in result order."""
+        materialized = [
+            self.columns[field.name].to_pylist() for field in self.schema
+        ]
+        return list(zip(*materialized)) if materialized else []
+
+    def scalar(self) -> object:
+        """The single value of a 1×1 result (e.g. a COUNT query)."""
+        if self.row_count != 1 or len(self.schema) != 1:
+            raise ValueError(
+                f"scalar() requires a 1x1 result, got "
+                f"{self.row_count}x{len(self.schema)}"
+            )
+        return self.columns[self.schema.names[0]][0]
+
+    def __iter__(self) -> Iterator[tuple[object, ...]]:
+        return iter(self.to_pylist())
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def pretty(self, limit: int = 20) -> str:
+        """Fixed-width textual rendering (for examples and debugging)."""
+        names = list(self.column_names)
+        rows = self.to_pylist()[:limit]
+        cells = [[_fmt(value) for value in row] for row in rows]
+        widths = [
+            max(len(name), *(len(row[i]) for row in cells)) if cells else len(name)
+            for i, name in enumerate(names)
+        ]
+        header = " | ".join(name.ljust(width) for name, width in zip(names, widths))
+        rule = "-+-".join("-" * width for width in widths)
+        body = [
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            for row in cells
+        ]
+        lines = [header, rule, *body]
+        if self.row_count > limit:
+            lines.append(f"... ({self.row_count} rows total)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryResult(rows={self.row_count}, cols={list(self.column_names)})"
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def collect(operator: "Operator") -> QueryResult:
+    """Open, drain and close an operator tree into a QueryResult."""
+    operator.open()
+    try:
+        batches: list[RecordBatch] = []
+        while True:
+            batch = operator.next_batch()
+            if batch is None:
+                break
+            if len(batch):
+                batches.append(batch)
+        return QueryResult.from_batches(operator.schema, batches)
+    finally:
+        operator.close()

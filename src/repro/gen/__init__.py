@@ -1,0 +1,24 @@
+"""Workload data generators.
+
+- :mod:`repro.gen.synthetic` — the paper's custom generator (§VII-B):
+  columns with a controlled exception rate against the uniqueness or
+  sorting constraint.
+- :mod:`repro.gen.tpcds` — a scaled-down TPC-DS subset (§VII-A):
+  ``date_dim``, ``customer`` and ``catalog_sales`` with the column
+  properties the paper's two TPC-DS experiments exploit.
+"""
+
+from repro.gen.synthetic import (
+    unique_with_exceptions,
+    sorted_with_exceptions,
+    synthetic_table,
+)
+from repro.gen.tpcds import TpcdsGenerator, load_tpcds
+
+__all__ = [
+    "unique_with_exceptions",
+    "sorted_with_exceptions",
+    "synthetic_table",
+    "TpcdsGenerator",
+    "load_tpcds",
+]

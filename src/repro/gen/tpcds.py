@@ -1,0 +1,286 @@
+"""Scaled-down TPC-DS subset (paper §VII-A).
+
+The paper evaluates on TPC-DS SF1000: a 1.4 B-row ``catalog_sales``
+fact table joined with ``date_dim`` for the NSC experiment, and the
+12 M-row ``customer`` table for the NUC experiment (Table I).  Absolute
+scale is irrelevant to the *shape* of the results; what matters are the
+column properties:
+
+- ``catalog_sales.cs_sold_date_sk`` is nearly co-sorted with insertion
+  order (0.5 % exceptions in the paper — late-arriving orders);
+- ``date_dim.d_date_sk`` is the sorted surrogate primary key of the
+  date dimension;
+- ``customer.c_email_address`` is nearly unique (3.6 % exceptions:
+  shared/duplicate addresses and NULLs);
+- ``customer.c_current_addr_sk`` is heavily shared (86.5 % exceptions:
+  most customers live at an address someone else also uses).
+
+:class:`TpcdsGenerator` reproduces these properties at any scale, with
+the exception rates as parameters defaulting to the paper's values.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.storage.column import ColumnVector
+from repro.storage.database import Database
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+from repro.types.datatypes import date_to_days
+
+#: First d_date_sk in genuine TPC-DS data (1900-01-02).
+FIRST_DATE_SK = 2415022
+#: Number of date_dim rows in genuine TPC-DS data.
+FULL_DATE_DIM_ROWS = 73049
+
+_FIRST_NAMES = (
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+)
+_LAST_NAMES = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+)
+_DOMAINS = ("example.com", "mail.test", "shop.example", "web.invalid")
+
+
+class TpcdsGenerator:
+    """Deterministic generator for the TPC-DS subset used by the paper."""
+
+    def __init__(self, seed: int = 42):
+        self.seed = seed
+
+    # -- date_dim --------------------------------------------------------
+
+    def date_dim(self, n_days: int = 3653) -> dict[str, ColumnVector]:
+        """The date dimension: one row per calendar day, sorted on the
+        surrogate key (the property the join rewrite's sorted side
+        relies on).  Defaults to ten years of days."""
+        base = _dt.date(1998, 1, 1)
+        sk = np.arange(FIRST_DATE_SK, FIRST_DATE_SK + n_days, dtype=np.int64)
+        day_numbers = np.arange(n_days, dtype=np.int64) + date_to_days(base)
+        dates = [base + _dt.timedelta(days=int(offset)) for offset in range(n_days)]
+        return {
+            "d_date_sk": ColumnVector(DataType.INT64, sk),
+            "d_date": ColumnVector(DataType.DATE, day_numbers),
+            "d_year": ColumnVector(
+                DataType.INT64,
+                np.array([date.year for date in dates], dtype=np.int64),
+            ),
+            "d_moy": ColumnVector(
+                DataType.INT64,
+                np.array([date.month for date in dates], dtype=np.int64),
+            ),
+            "d_dom": ColumnVector(
+                DataType.INT64,
+                np.array([date.day for date in dates], dtype=np.int64),
+            ),
+        }
+
+    @staticmethod
+    def date_dim_schema() -> Schema:
+        return Schema(
+            [
+                Field("d_date_sk", DataType.INT64, nullable=False),
+                Field("d_date", DataType.DATE, nullable=False),
+                Field("d_year", DataType.INT64, nullable=False),
+                Field("d_moy", DataType.INT64, nullable=False),
+                Field("d_dom", DataType.INT64, nullable=False),
+            ]
+        )
+
+    # -- catalog_sales ------------------------------------------------------
+
+    def catalog_sales(
+        self,
+        n: int,
+        n_days: int = 3653,
+        sold_date_exception_rate: float = 0.005,
+        n_items: int = 18000,
+    ) -> dict[str, ColumnVector]:
+        """The fact table, nearly sorted on ``cs_sold_date_sk``.
+
+        Rows are generated in order-entry sequence: sold dates grow
+        monotonically except for ``sold_date_exception_rate`` of rows
+        (late bookings landing at a random position), matching the
+        paper's 0.5 % for ``catalog_sales.sold_date`` at SF1000.
+        """
+        rng = np.random.default_rng(self.seed)
+        # Monotone sold dates covering the dimension range.
+        sold = np.sort(
+            rng.integers(FIRST_DATE_SK, FIRST_DATE_SK + n_days, size=n)
+        ).astype(np.int64)
+        n_exceptions = int(round(n * sold_date_exception_rate))
+        if n_exceptions:
+            positions = rng.choice(n, size=n_exceptions, replace=False)
+            sold[positions] = rng.integers(
+                FIRST_DATE_SK, FIRST_DATE_SK + n_days, size=n_exceptions
+            )
+        ship = sold + rng.integers(2, 90, size=n)
+        return {
+            "cs_order_number": ColumnVector(
+                DataType.INT64, np.arange(1, n + 1, dtype=np.int64)
+            ),
+            "cs_sold_date_sk": ColumnVector(DataType.INT64, sold),
+            "cs_ship_date_sk": ColumnVector(DataType.INT64, ship.astype(np.int64)),
+            "cs_item_sk": ColumnVector(
+                DataType.INT64, rng.integers(1, n_items + 1, size=n).astype(np.int64)
+            ),
+            "cs_quantity": ColumnVector(
+                DataType.INT64, rng.integers(1, 100, size=n).astype(np.int64)
+            ),
+            "cs_sales_price": ColumnVector(
+                DataType.FLOAT64, np.round(rng.random(n) * 300.0, 2)
+            ),
+        }
+
+    @staticmethod
+    def catalog_sales_schema() -> Schema:
+        return Schema(
+            [
+                Field("cs_order_number", DataType.INT64, nullable=False),
+                Field("cs_sold_date_sk", DataType.INT64, nullable=False),
+                Field("cs_ship_date_sk", DataType.INT64, nullable=False),
+                Field("cs_item_sk", DataType.INT64, nullable=False),
+                Field("cs_quantity", DataType.INT64, nullable=False),
+                Field("cs_sales_price", DataType.FLOAT64, nullable=False),
+            ]
+        )
+
+    # -- customer -----------------------------------------------------------------
+
+    def customer(
+        self,
+        n: int,
+        email_exception_rate: float = 0.036,
+        addr_unique_rate: float = 0.135,
+    ) -> dict[str, ColumnVector]:
+        """The customer dimension (Table I's two NUC columns).
+
+        ``c_email_address`` is unique except ``email_exception_rate`` of
+        rows (duplicate pairs plus a sprinkle of NULLs);
+        ``c_current_addr_sk`` has only ``addr_unique_rate`` of rows
+        carrying an address nobody else has (86.5 % exceptions in the
+        paper).
+        """
+        rng = np.random.default_rng(self.seed + 1)
+        sk = np.arange(1, n + 1, dtype=np.int64)
+
+        emails = np.empty(n, dtype=object)
+        for position in range(n):
+            emails[position] = _email(position, rng)
+        email_validity = np.ones(n, dtype=np.bool_)
+        n_exceptions = int(round(n * email_exception_rate))
+        if n_exceptions:
+            # One third NULLs, the rest duplicate pairs.
+            n_nulls = n_exceptions // 3
+            n_dup_rows = n_exceptions - n_nulls
+            positions = rng.choice(n, size=n_exceptions, replace=False)
+            null_positions = positions[:n_nulls]
+            dup_positions = positions[n_nulls:]
+            email_validity[null_positions] = False
+            emails[null_positions] = ""
+            # Pair rows up so every duplicated address occurs >= 2 times.
+            half = max(1, n_dup_rows // 2)
+            for offset, position in enumerate(dup_positions):
+                emails[position] = f"shared{offset % half}@{_DOMAINS[0]}"
+
+        n_unique_addr = int(round(n * addr_unique_rate))
+        # Shared addresses come from a pool small enough that collisions
+        # are near-certain; unique ones from a disjoint high range.
+        pool = max(1, (n - n_unique_addr) // 20)
+        addr = rng.integers(1, pool + 1, size=n).astype(np.int64)
+        unique_positions = rng.choice(n, size=n_unique_addr, replace=False)
+        addr[unique_positions] = (
+            np.arange(n_unique_addr, dtype=np.int64) + 10_000_000
+        )
+
+        first = rng.integers(0, len(_FIRST_NAMES), size=n)
+        last = rng.integers(0, len(_LAST_NAMES), size=n)
+        first_names = np.empty(n, dtype=object)
+        last_names = np.empty(n, dtype=object)
+        for position in range(n):
+            first_names[position] = _FIRST_NAMES[first[position]]
+            last_names[position] = _LAST_NAMES[last[position]]
+
+        return {
+            "c_customer_sk": ColumnVector(DataType.INT64, sk),
+            "c_email_address": ColumnVector(
+                DataType.STRING, emails, email_validity
+            ),
+            "c_current_addr_sk": ColumnVector(DataType.INT64, addr),
+            "c_first_name": ColumnVector(DataType.STRING, first_names),
+            "c_last_name": ColumnVector(DataType.STRING, last_names),
+            "c_birth_year": ColumnVector(
+                DataType.INT64,
+                rng.integers(1930, 2005, size=n).astype(np.int64),
+            ),
+        }
+
+    @staticmethod
+    def customer_schema() -> Schema:
+        return Schema(
+            [
+                Field("c_customer_sk", DataType.INT64, nullable=False),
+                Field("c_email_address", DataType.STRING),
+                Field("c_current_addr_sk", DataType.INT64, nullable=False),
+                Field("c_first_name", DataType.STRING, nullable=False),
+                Field("c_last_name", DataType.STRING, nullable=False),
+                Field("c_birth_year", DataType.INT64, nullable=False),
+            ]
+        )
+
+
+def _email(position: int, rng: np.random.Generator) -> str:
+    domain = _DOMAINS[position % len(_DOMAINS)]
+    return f"user{position}.{rng.integers(0, 10_000)}@{domain}"
+
+
+def load_tpcds(
+    database: Database,
+    catalog_sales_rows: int = 200_000,
+    customer_rows: int = 50_000,
+    n_days: int = 3653,
+    partition_count: int = 4,
+    seed: int = 42,
+    sold_date_exception_rate: float = 0.005,
+) -> dict[str, Table]:
+    """Create and load the three TPC-DS subset tables into *database*.
+
+    Row counts default to laptop scale; the paper's SF1000 ratios
+    (1.4 B sales / 12 M customers / 73 K dates) are preserved in spirit
+    by keeping sales ≫ customers ≫ dates.
+    """
+    generator = TpcdsGenerator(seed)
+    tables: dict[str, Table] = {}
+
+    date_dim = database.create_table(
+        "date_dim", generator.date_dim_schema(), partition_count=1
+    )
+    date_dim.load_columns(generator.date_dim(n_days))
+    tables["date_dim"] = date_dim
+
+    catalog_sales = database.create_table(
+        "catalog_sales",
+        generator.catalog_sales_schema(),
+        partition_count=partition_count,
+    )
+    catalog_sales.load_columns(
+        generator.catalog_sales(
+            catalog_sales_rows,
+            n_days,
+            sold_date_exception_rate=sold_date_exception_rate,
+        )
+    )
+    tables["catalog_sales"] = catalog_sales
+
+    customer = database.create_table(
+        "customer", generator.customer_schema(), partition_count=partition_count
+    )
+    customer.load_columns(generator.customer(customer_rows))
+    tables["customer"] = customer
+    return tables

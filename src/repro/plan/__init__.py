@@ -1,0 +1,40 @@
+"""Logical plans, PatchIndex-aware optimization, physical planning."""
+
+from repro.plan.logical import (
+    LogicalPlan,
+    LogicalScan,
+    LogicalFilter,
+    LogicalProject,
+    LogicalDistinct,
+    LogicalAggregate,
+    LogicalSort,
+    LogicalLimit,
+    LogicalJoin,
+    LogicalUnionAll,
+    LogicalPatchSelect,
+    LogicalMergeUnion,
+    LogicalMergeJoin,
+)
+from repro.plan.optimizer import Optimizer, OptimizerOptions
+from repro.plan.physical import PhysicalPlanner
+from repro.plan.cardinality import estimate_rows
+
+__all__ = [
+    "LogicalPlan",
+    "LogicalScan",
+    "LogicalFilter",
+    "LogicalProject",
+    "LogicalDistinct",
+    "LogicalAggregate",
+    "LogicalSort",
+    "LogicalLimit",
+    "LogicalJoin",
+    "LogicalUnionAll",
+    "LogicalPatchSelect",
+    "LogicalMergeUnion",
+    "LogicalMergeJoin",
+    "Optimizer",
+    "OptimizerOptions",
+    "PhysicalPlanner",
+    "estimate_rows",
+]

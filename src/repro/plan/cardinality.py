@@ -1,0 +1,86 @@
+"""Cardinality estimation over logical plans.
+
+Estimates feed two consumers: the cost model gating the PatchIndex
+rewrites (is the patched plan worth its overhead?) and the build-side
+choice for hash joins (paper §VI-B3: "we can choose the join side with
+the lower cardinality as the side to build the hash table on" — the
+PatchIndex contributes the exact ``|P_c|`` for its branches).
+
+Selectivity defaults are the classic System-R style constants; they
+only need to be in the right ballpark for the rewrite decisions.
+"""
+
+from __future__ import annotations
+
+from repro.exec.expressions import And, Comparison, Expression, IsNull, Not, Or
+from repro.plan import logical as lp
+
+#: Default selectivity of an equality predicate.
+EQUALITY_SELECTIVITY = 0.1
+#: Default selectivity of a range predicate.
+RANGE_SELECTIVITY = 0.3
+#: Default selectivity when nothing is known.
+UNKNOWN_SELECTIVITY = 0.5
+#: Default distinct fraction for aggregates / distinct.
+DISTINCT_FRACTION = 0.1
+
+
+def predicate_selectivity(predicate: Expression) -> float:
+    """Rough selectivity of a predicate expression."""
+    if isinstance(predicate, Comparison):
+        if predicate.op == "=":
+            return EQUALITY_SELECTIVITY
+        if predicate.op in ("!=", "<>"):
+            return 1.0 - EQUALITY_SELECTIVITY
+        return RANGE_SELECTIVITY
+    if isinstance(predicate, And):
+        return predicate_selectivity(predicate.left) * predicate_selectivity(
+            predicate.right
+        )
+    if isinstance(predicate, Or):
+        left = predicate_selectivity(predicate.left)
+        right = predicate_selectivity(predicate.right)
+        return min(1.0, left + right - left * right)
+    if isinstance(predicate, Not):
+        return 1.0 - predicate_selectivity(predicate.operand)
+    if isinstance(predicate, IsNull):
+        return 0.05 if not predicate.negated else 0.95
+    return UNKNOWN_SELECTIVITY
+
+
+def estimate_rows(plan: lp.LogicalPlan) -> int:
+    """Estimated output cardinality of a logical plan node."""
+    if isinstance(plan, lp.LogicalScan):
+        return plan.table.row_count
+    if isinstance(plan, lp.LogicalFilter):
+        return max(
+            1,
+            int(estimate_rows(plan.child) * predicate_selectivity(plan.predicate)),
+        )
+    if isinstance(plan, (lp.LogicalProject,)):
+        return estimate_rows(plan.child)
+    if isinstance(plan, lp.LogicalDistinct):
+        return max(1, int(estimate_rows(plan.child) * DISTINCT_FRACTION))
+    if isinstance(plan, lp.LogicalAggregate):
+        if not plan.group_by:
+            return 1
+        return max(1, int(estimate_rows(plan.child) * DISTINCT_FRACTION))
+    if isinstance(plan, lp.LogicalSort):
+        return estimate_rows(plan.child)
+    if isinstance(plan, lp.LogicalLimit):
+        return min(plan.limit, estimate_rows(plan.child))
+    if isinstance(plan, (lp.LogicalJoin, lp.LogicalMergeJoin)):
+        left = estimate_rows(plan.left)
+        right = estimate_rows(plan.right)
+        # PK/FK-style assumption: one match per probe row.
+        return max(left, right)
+    if isinstance(plan, lp.LogicalUnionAll):
+        return sum(estimate_rows(child) for child in plan.inputs)
+    if isinstance(plan, lp.LogicalMergeUnion):
+        return estimate_rows(plan.left) + estimate_rows(plan.right)
+    if isinstance(plan, lp.LogicalPatchSelect):
+        # Exact: the PatchIndex knows |P_c|.
+        patch_count = plan.index.patch_count
+        total = plan.index.table.row_count
+        return patch_count if plan.use_patches else total - patch_count
+    return 1  # pragma: no cover - unknown node kinds

@@ -1,0 +1,44 @@
+"""Plan pretty-printing helpers (logical and physical)."""
+
+from __future__ import annotations
+
+from repro.exec.operators.base import Operator
+from repro.plan.cardinality import estimate_rows
+from repro.plan.logical import LogicalPlan
+
+
+def explain_logical(plan: LogicalPlan, with_estimates: bool = True) -> str:
+    """Indented rendering of a logical plan tree.
+
+    With *with_estimates* each node is annotated with the optimizer's
+    cardinality estimate (exact for PatchSelect nodes, which read
+    ``|P_c|`` straight from the index).
+    """
+    if not with_estimates:
+        return plan.explain()
+    lines: list[str] = []
+
+    def render(node: LogicalPlan, indent: int) -> None:
+        lines.append(
+            "  " * indent + f"{node.label()}  [~{estimate_rows(node)} rows]"
+        )
+        for child in node.children():
+            render(child, indent + 1)
+
+    render(plan, 0)
+    return "\n".join(lines)
+
+
+def explain_physical(operator: Operator) -> str:
+    """Indented rendering of a physical operator tree."""
+    return operator.explain()
+
+
+def explain_both(logical: LogicalPlan, physical: Operator) -> str:
+    """Combined EXPLAIN output: logical plan, then the physical plan."""
+    return (
+        "== logical plan ==\n"
+        f"{explain_logical(logical)}\n"
+        "== physical plan ==\n"
+        f"{explain_physical(physical)}"
+    )

@@ -1,0 +1,220 @@
+"""Physical planning: logical plan → executable operator tree.
+
+Mostly a 1:1 mapping, plus two physical decisions:
+
+- **Scan-range derivation**: a filter directly above a scan with a
+  ``column <op> literal`` conjunct is evaluated against the per-block
+  min/max sketches, and the surviving rowid ranges are pushed into the
+  scan (the filter itself is kept — block pruning is conservative).
+  This is the paper's "small materialized aggregates" scan-range path
+  that the PatchSelect then merges with (§VI-A3).
+- **Hash-join build-side choice**: the smaller estimated input builds
+  the hash table (§VI-B3); a projection restores the original column
+  order when the sides were swapped.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.exec.batch import DEFAULT_BATCH_SIZE
+from repro.exec.expressions import And, ColumnRef, Comparison, Expression, Literal
+from repro.exec.operators import (
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    Limit,
+    MergeJoin,
+    MergeUnion,
+    Operator,
+    PatchSelect,
+    PatchSelectMode,
+    Project,
+    Sort,
+    TableScan,
+    TopN,
+    UnionAll,
+)
+from repro.plan import logical as lp
+from repro.plan.cardinality import estimate_rows
+from repro.types.datatypes import coerce_scalar
+
+
+class PhysicalPlanner:
+    """Translate logical plans into operator trees."""
+
+    def __init__(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        derive_scan_ranges: bool = True,
+        choose_build_side: bool = True,
+    ):
+        self.batch_size = batch_size
+        self.derive_scan_ranges = derive_scan_ranges
+        self.choose_build_side = choose_build_side
+
+    def plan(self, logical: lp.LogicalPlan) -> Operator:
+        if isinstance(logical, lp.LogicalScan):
+            return self._plan_scan(logical)
+        if isinstance(logical, lp.LogicalPatchSelect):
+            scan = self._plan_scan(logical.child)
+            mode = (
+                PatchSelectMode.USE_PATCHES
+                if logical.use_patches
+                else PatchSelectMode.EXCLUDE_PATCHES
+            )
+            return PatchSelect(scan, logical.index, mode)
+        if isinstance(logical, lp.LogicalFilter):
+            return self._plan_filter(logical)
+        if isinstance(logical, lp.LogicalProject):
+            return Project(self.plan(logical.child), list(logical.outputs))
+        if isinstance(logical, lp.LogicalDistinct):
+            return Distinct(self.plan(logical.child))
+        if isinstance(logical, lp.LogicalAggregate):
+            return HashAggregate(
+                self.plan(logical.child),
+                list(logical.group_by),
+                list(logical.aggregates),
+            )
+        if isinstance(logical, lp.LogicalSort):
+            return Sort(self.plan(logical.child), list(logical.keys))
+        if isinstance(logical, lp.LogicalLimit):
+            if isinstance(logical.child, lp.LogicalSort):
+                # Fuse ORDER BY + LIMIT into a partial-sort TopN.
+                return TopN(
+                    self.plan(logical.child.child),
+                    list(logical.child.keys),
+                    logical.limit,
+                    logical.offset,
+                )
+            return Limit(self.plan(logical.child), logical.limit, logical.offset)
+        if isinstance(logical, lp.LogicalJoin):
+            return self._plan_join(logical)
+        if isinstance(logical, lp.LogicalMergeJoin):
+            return MergeJoin(
+                self.plan(logical.left),
+                self.plan(logical.right),
+                logical.left_key,
+                logical.right_key,
+            )
+        if isinstance(logical, lp.LogicalUnionAll):
+            return UnionAll([self.plan(child) for child in logical.inputs])
+        if isinstance(logical, lp.LogicalMergeUnion):
+            return MergeUnion(
+                self.plan(logical.left),
+                self.plan(logical.right),
+                list(logical.keys),
+            )
+        raise PlanError(f"cannot plan logical node {type(logical).__name__}")
+
+    # -- scans & filters ---------------------------------------------------
+
+    def _plan_scan(self, logical: lp.LogicalScan) -> TableScan:
+        if not isinstance(logical, lp.LogicalScan):
+            raise PlanError("PatchSelect child must plan to a scan")
+        return TableScan(
+            logical.table,
+            list(logical.columns) if logical.columns is not None else None,
+            scan_ranges=(
+                list(logical.scan_ranges)
+                if logical.scan_ranges is not None
+                else None
+            ),
+            with_tid=logical.with_tid,
+            batch_size=self.batch_size,
+        )
+
+    def _plan_filter(self, logical: lp.LogicalFilter) -> Operator:
+        child = logical.child
+        if (
+            self.derive_scan_ranges
+            and isinstance(child, lp.LogicalScan)
+            and child.scan_ranges is None
+        ):
+            ranges = self._ranges_for_predicate(child, logical.predicate)
+            if ranges is not None:
+                child = lp.LogicalScan(
+                    child.table,
+                    child.columns,
+                    child.with_tid,
+                    scan_ranges=tuple(ranges),
+                )
+                return Filter(self._plan_scan(child), logical.predicate)
+        return Filter(self.plan(child), logical.predicate)
+
+    def _ranges_for_predicate(
+        self, scan: lp.LogicalScan, predicate: Expression
+    ) -> list[tuple[int, int]] | None:
+        """Block-prune using one ``col <op> literal`` conjunct, if any."""
+        conjunct = _find_prunable_conjunct(predicate, scan)
+        if conjunct is None:
+            return None
+        column, op, literal_value = conjunct
+        ranges: list[tuple[int, int]] = []
+        for partition in scan.table.partitions:
+            for start, stop in partition.scan_ranges_for_predicate(
+                column, op, literal_value
+            ):
+                ranges.append(
+                    (partition.base_rowid + start, partition.base_rowid + stop)
+                )
+        return ranges
+
+    # -- joins ------------------------------------------------------------------
+
+    def _plan_join(self, logical: lp.LogicalJoin) -> Operator:
+        left = self.plan(logical.left)
+        right = self.plan(logical.right)
+        if logical.join_type == "left_outer":
+            # Outer semantics pin the probe side to the preserved input.
+            return HashJoin(
+                left, right, logical.left_key, logical.right_key, "left_outer"
+            )
+        if self.choose_build_side:
+            left_rows = estimate_rows(logical.left)
+            right_rows = estimate_rows(logical.right)
+        else:
+            left_rows, right_rows = 1, 0  # keep right as build side
+        if right_rows <= left_rows:
+            return HashJoin(left, right, logical.left_key, logical.right_key)
+        # Build on the (smaller) left side; restore column order after.
+        swapped = HashJoin(right, left, logical.right_key, logical.left_key)
+        outputs = [
+            (name, ColumnRef(name)) for name in logical.schema.names
+        ]
+        return Project(swapped, outputs)
+
+
+def _find_prunable_conjunct(
+    predicate: Expression, scan: lp.LogicalScan
+) -> tuple[str, str, object] | None:
+    """First ``ColumnRef <op> Literal`` conjunct usable for block pruning."""
+    if isinstance(predicate, And):
+        found = _find_prunable_conjunct(predicate.left, scan)
+        if found is not None:
+            return found
+        return _find_prunable_conjunct(predicate.right, scan)
+    if not isinstance(predicate, Comparison):
+        return None
+    left, right, op = predicate.left, predicate.right, predicate.op
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        left, right = right, left
+        op = _flip(op)
+    if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+        return None
+    if right.value is None:
+        return None
+    if left.name not in scan.schema:
+        return None
+    dtype = scan.schema.field(left.name).dtype
+    try:
+        literal_value = coerce_scalar(right.value, dtype)
+    except Exception:
+        return None
+    if literal_value is None:
+        return None
+    return (left.name, op, literal_value)
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!=", "<>": "<>"}[op]

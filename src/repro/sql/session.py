@@ -1,0 +1,170 @@
+"""SQL session: statement dispatch against a Database.
+
+This module wires the front end together: parse → (DDL execution | bind
+→ optimize → physical plan → collect).  It is invoked through
+:meth:`repro.storage.database.Database.sql` and
+:meth:`~repro.storage.database.Database.explain`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import BindError
+from repro.exec.operators.scan import TID_COLUMN
+from repro.exec.result import QueryResult, collect
+from repro.plan.explain import explain_both
+from repro.plan.optimizer import Optimizer, OptimizerOptions
+from repro.plan.physical import PhysicalPlanner
+from repro.sql import ast
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_statement
+from repro.storage.column import ColumnVector
+from repro.storage.schema import Field, Schema
+from repro.types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.database import Database
+
+
+def execute_sql(
+    database: "Database",
+    text: str,
+    optimizer_options: OptimizerOptions | None = None,
+) -> QueryResult:
+    """Execute one SQL statement and return its result.
+
+    DDL and DML statements return a 1×1 result describing the effect
+    (e.g. rows inserted); queries return their result set.
+    """
+    statement = parse_statement(text)
+    if isinstance(statement, ast.SqlSelect):
+        return run_select(database, statement, optimizer_options)
+    if isinstance(statement, ast.SqlExplain):
+        rendered = explain_select(database, statement.query, optimizer_options)
+        return _message_result("plan", rendered)
+    if isinstance(statement, ast.SqlCreateTable):
+        schema = Schema(
+            Field(column.name, DataType.from_name(column.type_name), column.nullable)
+            for column in statement.columns
+        )
+        database.create_table(statement.name, schema, statement.partitions)
+        return _message_result("status", f"table {statement.name} created")
+    if isinstance(statement, ast.SqlDropTable):
+        database.drop_table(statement.name)
+        return _message_result("status", f"table {statement.name} dropped")
+    if isinstance(statement, ast.SqlCreatePatchIndex):
+        index = database.create_patch_index(
+            statement.name,
+            statement.table,
+            statement.column,
+            kind=statement.kind,
+            mode=statement.mode,
+            threshold=statement.threshold,
+            scope=statement.scope,
+            ascending=statement.ascending,
+        )
+        return _message_result("status", index.describe())
+    if isinstance(statement, ast.SqlDropPatchIndex):
+        database.drop_patch_index(statement.name)
+        return _message_result("status", f"patchindex {statement.name} dropped")
+    if isinstance(statement, ast.SqlInsert):
+        inserted = _run_insert(database, statement)
+        return _message_result("status", f"{inserted} rows inserted")
+    if isinstance(statement, ast.SqlDelete):
+        deleted = _run_delete(database, statement, optimizer_options)
+        return _message_result("status", f"{deleted} rows deleted")
+    raise BindError(f"unsupported statement type: {type(statement).__name__}")
+
+
+def explain_sql(
+    database: "Database",
+    text: str,
+    optimizer_options: OptimizerOptions | None = None,
+) -> str:
+    """Return the optimized logical + physical plan of a query."""
+    statement = parse_statement(text)
+    if isinstance(statement, ast.SqlExplain):
+        statement = statement.query
+    if not isinstance(statement, ast.SqlSelect):
+        raise BindError("EXPLAIN supports SELECT statements only")
+    return explain_select(database, statement, optimizer_options)
+
+
+def run_select(
+    database: "Database",
+    select: ast.SqlSelect,
+    optimizer_options: OptimizerOptions | None = None,
+) -> QueryResult:
+    logical = Binder(database.catalog).bind_select(select)
+    optimized = Optimizer(database.catalog, optimizer_options).optimize(logical)
+    operator = PhysicalPlanner().plan(optimized)
+    return collect(operator)
+
+
+def explain_select(
+    database: "Database",
+    select: ast.SqlSelect,
+    optimizer_options: OptimizerOptions | None = None,
+) -> str:
+    logical = Binder(database.catalog).bind_select(select)
+    optimized = Optimizer(database.catalog, optimizer_options).optimize(logical)
+    operator = PhysicalPlanner().plan(optimized)
+    return explain_both(optimized, operator)
+
+
+def _run_insert(database: "Database", statement: ast.SqlInsert) -> int:
+    table = database.table(statement.table)
+    width = len(table.schema)
+    if statement.columns is None:
+        rows = [list(row) for row in statement.rows]
+        for row in rows:
+            if len(row) != width:
+                raise BindError(
+                    f"INSERT row has {len(row)} values, table has {width}"
+                )
+    else:
+        positions = {
+            name: table.schema.index_of(name) for name in statement.columns
+        }
+        rows = []
+        for row in statement.rows:
+            if len(row) != len(statement.columns):
+                raise BindError("INSERT row width mismatch")
+            full: list[object] = [None] * width
+            for name, value in zip(statement.columns, row):
+                full[positions[name]] = value
+            rows.append(full)
+    return table.insert_rows(rows)
+
+
+def _run_delete(
+    database: "Database",
+    statement: ast.SqlDelete,
+    optimizer_options: OptimizerOptions | None,
+) -> int:
+    table = database.table(statement.table)
+    if statement.where is None:
+        doomed = np.arange(table.row_count, dtype=np.int64)
+        return table.delete_rowids(doomed)
+    # Evaluate the predicate through a tid-projecting SELECT.
+    select = ast.SqlSelect(
+        items=(
+            ast.SqlSelectItem(ast.SqlColumn(TID_COLUMN), TID_COLUMN),
+        ),
+        from_table=ast.SqlNamedTable(statement.table),
+        where=statement.where,
+    )
+    result = run_select(database, select, optimizer_options)
+    rowids = [value for value in result.column(TID_COLUMN).to_pylist()]
+    return table.delete_rowids(np.asarray(rowids, dtype=np.int64))
+
+
+def _message_result(column: str, message: str) -> QueryResult:
+    vector = ColumnVector.from_pylist(DataType.STRING, [message])
+    return QueryResult(
+        Schema([Field(column, DataType.STRING, nullable=False)]),
+        {column: vector},
+    )

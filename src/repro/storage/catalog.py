@@ -1,0 +1,109 @@
+"""The catalog: named tables and the PatchIndexes defined on them.
+
+The catalog deliberately stores indexes behind a minimal duck-typed
+interface (``table_name``, ``column_name``, ``kind``) so the storage
+layer does not depend on :mod:`repro.core`; the concrete class lives in
+:mod:`repro.core.patch_index`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import CatalogError
+from repro.storage.table import Table
+
+
+class Catalog:
+    """Name → object mapping for tables and patch indexes."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, Any] = {}
+
+    # -- tables -----------------------------------------------------------
+
+    def add_table(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"unknown table: {name!r}")
+        del self._tables[name]
+        for index_name in [
+            index_name
+            for index_name, index in self._indexes.items()
+            if index.table_name == name
+        ]:
+            del self._indexes[index_name]
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- patch indexes -------------------------------------------------------
+
+    def add_index(self, index: Any) -> None:
+        if index.name in self._indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        if index.table_name not in self._tables:
+            raise CatalogError(
+                f"index {index.name!r} references unknown table "
+                f"{index.table_name!r}"
+            )
+        self._indexes[index.name] = index
+
+    def index(self, name: str) -> Any:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"unknown index: {name!r}") from None
+
+    def has_index(self, name: str) -> bool:
+        return name in self._indexes
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise CatalogError(f"unknown index: {name!r}")
+        index = self._indexes.pop(name)
+        detach = getattr(index, "detach", None)
+        if detach is not None:
+            detach()
+
+    def indexes(self) -> Iterator[Any]:
+        return iter(self._indexes.values())
+
+    def indexes_on(self, table_name: str, column_name: str | None = None) -> list[Any]:
+        """All indexes on a table, optionally restricted to one column."""
+        return [
+            index
+            for index in self._indexes.values()
+            if index.table_name == table_name
+            and (column_name is None or index.column_name == column_name)
+        ]
+
+    def find_index(
+        self, table_name: str, column_name: str, kind: str
+    ) -> Any | None:
+        """First index of *kind* ("unique" / "sorted") on table.column, if any."""
+        for index in self._indexes.values():
+            if (
+                index.table_name == table_name
+                and index.column_name == column_name
+                and index.kind == kind
+            ):
+                return index
+        return None

@@ -1,0 +1,264 @@
+"""Database facade: DDL, PatchIndex DDL, SQL entry point, recovery.
+
+This is the top-level object users interact with.  It owns the
+:class:`~repro.storage.catalog.Catalog` and the
+:class:`~repro.storage.wal.WriteAheadLog`, and wires the SQL front end,
+the optimizer and the executor together.
+
+Recovery follows the paper's design (§V): the WAL records *that* a
+PatchIndex exists (name, table, column, kind, mode, threshold) but not
+its patches; replay re-runs discovery against the table data.  Since row
+data itself is not WAL-logged (the paper's engine has its own data
+durability), :meth:`Database.recover` accepts per-table data loaders
+that repopulate tables before indexes are rebuilt.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Mapping, Sequence, TYPE_CHECKING
+
+from repro.errors import CatalogError, WalError
+from repro.storage.catalog import Catalog
+from repro.storage.column import ColumnVector
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.storage.wal import WriteAheadLog
+from repro.types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.patch_index import PatchIndex
+    from repro.exec.result import QueryResult
+
+DataLoader = Callable[[Table], None]
+
+
+def schema_to_payload(schema: Schema) -> list[dict]:
+    """Serialize a schema for a WAL record."""
+    return [
+        {
+            "name": field.name,
+            "dtype": field.dtype.value,
+            "nullable": field.nullable,
+        }
+        for field in schema
+    ]
+
+
+def payload_to_schema(payload: Sequence[Mapping]) -> Schema:
+    """Deserialize a schema from a WAL record."""
+    try:
+        return Schema(
+            Field(
+                entry["name"],
+                DataType(entry["dtype"]),
+                bool(entry.get("nullable", True)),
+            )
+            for entry in payload
+        )
+    except (KeyError, ValueError) as exc:
+        raise WalError(f"malformed schema payload: {payload!r}") from exc
+
+
+class Database:
+    """A self-contained analytical database instance."""
+
+    def __init__(self, wal_path: str | os.PathLike | None = None):
+        self.catalog = Catalog()
+        self.wal = WriteAheadLog(wal_path)
+
+    # -- table DDL ----------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        partition_count: int = 1,
+        block_size: int | None = None,
+    ) -> Table:
+        """Create an empty table and log the DDL."""
+        kwargs = {} if block_size is None else {"block_size": block_size}
+        table = Table(name, schema, partition_count, **kwargs)
+        self.catalog.add_table(table)
+        self.wal.append(
+            "create_table",
+            {
+                "name": name,
+                "schema": schema_to_payload(schema),
+                "partition_count": partition_count,
+            },
+        )
+        return table
+
+    def create_table_from_pydict(
+        self,
+        name: str,
+        schema: Schema,
+        data: Mapping[str, Sequence[object]],
+        partition_count: int = 1,
+    ) -> Table:
+        """Create a table and bulk-load Python-level data in one step."""
+        table = self.create_table(name, schema, partition_count)
+        columns = {
+            field.name: ColumnVector.from_pylist(field.dtype, list(data[field.name]))
+            for field in schema
+        }
+        table.load_columns(columns)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self.wal.append("drop_table", {"name": name})
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # -- PatchIndex DDL --------------------------------------------------------
+
+    def create_patch_index(
+        self,
+        index_name: str,
+        table_name: str,
+        column_name: str,
+        kind: str,
+        mode: str = "auto",
+        threshold: float = 1.0,
+        scope: str = "global",
+        ascending: bool = True,
+        strict: bool = False,
+        _log: bool = True,
+    ) -> "PatchIndex":
+        """Create a PatchIndex: run discovery, register, log to the WAL.
+
+        Parameters mirror the paper: *kind* is ``"unique"`` (NUC) or
+        ``"sorted"`` (NSC); *mode* selects the physical design
+        (``"identifier"``, ``"bitmap"`` or ``"auto"``); *threshold* is
+        ``nuc_threshold`` / ``nsc_threshold`` — creation fails with
+        :class:`~repro.errors.ThresholdExceededError` when the discovered
+        exception rate is above it.  *scope* selects global vs
+        partition-local sortedness for NSC indexes (see
+        :func:`repro.core.discovery.discover_table_nsc`).
+        """
+        from repro.core.patch_index import PatchIndex, PatchIndexMode
+
+        table = self.catalog.table(table_name)
+        index = PatchIndex.create(
+            index_name,
+            table,
+            column_name,
+            kind=kind,
+            mode=PatchIndexMode(mode),
+            threshold=threshold,
+            scope=scope,
+            ascending=ascending,
+            strict=strict,
+        )
+        self.catalog.add_index(index)
+        if _log:
+            self.wal.append(
+                "create_index",
+                {
+                    "name": index_name,
+                    "table": table_name,
+                    "column": column_name,
+                    "kind": kind,
+                    "mode": mode,
+                    "threshold": threshold,
+                    "scope": scope,
+                    "ascending": ascending,
+                    "strict": strict,
+                },
+            )
+        return index
+
+    def drop_patch_index(self, name: str) -> None:
+        self.catalog.drop_index(name)
+        self.wal.append("drop_index", {"name": name})
+
+    # -- SQL entry point ----------------------------------------------------------
+
+    def sql(self, text: str) -> "QueryResult":
+        """Parse, bind, optimize and execute a SQL statement.
+
+        DDL statements return an empty result; queries return a
+        :class:`~repro.exec.result.QueryResult` with named columns.
+        """
+        # Imported lazily to avoid a package import cycle
+        # (storage → sql → plan → storage).
+        from repro.sql.session import execute_sql
+
+        return execute_sql(self, text)
+
+    def explain(self, text: str) -> str:
+        """Return the optimized plan of a SQL query as indented text."""
+        from repro.sql.session import explain_sql
+
+        return explain_sql(self, text)
+
+    # -- recovery -------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        wal_path: str | os.PathLike,
+        data_loaders: Mapping[str, DataLoader] | None = None,
+    ) -> "Database":
+        """Rebuild a database instance by replaying the WAL.
+
+        Tables are recreated empty, repopulated through *data_loaders*
+        (``table name → callable(table)``), and PatchIndexes are then
+        rebuilt from the data by re-running discovery, exactly as the
+        paper's recovery path does.
+        """
+        database = cls.__new__(cls)
+        database.catalog = Catalog()
+        database.wal = WriteAheadLog(wal_path)
+        loaders = dict(data_loaders or {})
+        for record in database.wal.live_records():
+            if record.kind == "create_table":
+                payload = record.payload
+                table = Table(
+                    payload["name"],
+                    payload_to_schema(payload["schema"]),
+                    int(payload.get("partition_count", 1)),
+                )
+                database.catalog.add_table(table)
+                loader = loaders.get(table.name)
+                if loader is not None:
+                    loader(table)
+            elif record.kind == "create_index":
+                payload = record.payload
+                if not database.catalog.has_table(payload["table"]):
+                    raise WalError(
+                        f"index {payload['name']!r} references missing table"
+                    )
+                database.create_patch_index(
+                    payload["name"],
+                    payload["table"],
+                    payload["column"],
+                    kind=payload["kind"],
+                    mode=payload.get("mode", "auto"),
+                    threshold=float(payload.get("threshold", 1.0)),
+                    scope=payload.get("scope", "global"),
+                    ascending=bool(payload.get("ascending", True)),
+                    strict=bool(payload.get("strict", False)),
+                    _log=False,
+                )
+        return database
+
+    # -- introspection -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable summary of tables and indexes."""
+        lines: list[str] = []
+        for name in self.catalog.table_names():
+            table = self.catalog.table(name)
+            lines.append(
+                f"table {name} ({table.row_count} rows, "
+                f"{table.partition_count} partitions)"
+            )
+            for field in table.schema:
+                lines.append(f"  {field}")
+            for index in self.catalog.indexes_on(name):
+                lines.append(f"  {index.describe()}")
+        return "\n".join(lines)

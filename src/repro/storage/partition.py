@@ -1,0 +1,150 @@
+"""A horizontal partition of a table.
+
+Each partition owns a contiguous range of global rowids
+``[base_rowid, base_rowid + row_count)`` and stores one
+:class:`~repro.storage.column.ColumnVector` per column, plus lazily
+computed per-block min/max sketches for scan-range pruning.
+
+Partitions are append-only at this level; logical deletes are handled by
+the table through rewriting (and by PatchIndex maintenance through patch
+updates), mirroring how column stores treat in-place mutation as the
+exceptional path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.blocks import (
+    DEFAULT_BLOCK_SIZE,
+    BlockStats,
+    compute_block_stats,
+    prune_blocks,
+)
+from repro.storage.column import ColumnVector
+from repro.storage.schema import Schema
+
+
+class Partition:
+    """Columnar storage for one horizontal slice of a table."""
+
+    def __init__(
+        self,
+        partition_id: int,
+        schema: Schema,
+        columns: Mapping[str, ColumnVector],
+        base_rowid: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
+        self.partition_id = partition_id
+        self.schema = schema
+        self.base_rowid = base_rowid
+        self.block_size = block_size
+        self._columns: dict[str, ColumnVector] = {}
+        self._block_stats: dict[str, list[BlockStats]] = {}
+
+        row_count: int | None = None
+        for field in schema:
+            if field.name not in columns:
+                raise SchemaError(f"partition missing column {field.name!r}")
+            column = columns[field.name]
+            if column.dtype != field.dtype:
+                raise SchemaError(
+                    f"column {field.name!r} has type {column.dtype.name}, "
+                    f"schema says {field.dtype.name}"
+                )
+            if row_count is None:
+                row_count = len(column)
+            elif len(column) != row_count:
+                raise StorageError(
+                    f"column {field.name!r} length {len(column)} != {row_count}"
+                )
+            self._columns[field.name] = column
+        self.row_count = row_count if row_count is not None else 0
+
+    # -- access --------------------------------------------------------
+
+    def column(self, name: str) -> ColumnVector:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(f"unknown column: {name!r}") from None
+
+    @property
+    def rowid_range(self) -> tuple[int, int]:
+        """Global rowid range ``[start, stop)`` owned by this partition."""
+        return (self.base_rowid, self.base_rowid + self.row_count)
+
+    def rowids(self) -> np.ndarray:
+        """Dense array of global rowids for every row of the partition."""
+        start, stop = self.rowid_range
+        return np.arange(start, stop, dtype=np.int64)
+
+    # -- block statistics / scan ranges ---------------------------------
+
+    def block_stats(self, name: str) -> list[BlockStats]:
+        """Per-block min/max sketches for column *name* (cached)."""
+        if name not in self._block_stats:
+            self._block_stats[name] = compute_block_stats(
+                self.column(name), self.block_size
+            )
+        return self._block_stats[name]
+
+    def scan_ranges_for_predicate(
+        self, name: str, op: str, literal: object
+    ) -> list[tuple[int, int]]:
+        """Partition-local row ranges that may satisfy ``name <op> literal``."""
+        return prune_blocks(self.block_stats(name), op, literal)
+
+    # -- mutation -------------------------------------------------------
+
+    def append(self, columns: Mapping[str, ColumnVector]) -> None:
+        """Append rows; invalidates cached block statistics."""
+        appended: dict[str, ColumnVector] = {}
+        row_count: int | None = None
+        for field in self.schema:
+            if field.name not in columns:
+                raise SchemaError(f"append missing column {field.name!r}")
+            column = columns[field.name]
+            if column.dtype != field.dtype:
+                raise SchemaError(
+                    f"append column {field.name!r}: type mismatch "
+                    f"({column.dtype.name} vs {field.dtype.name})"
+                )
+            if row_count is None:
+                row_count = len(column)
+            elif len(column) != row_count:
+                raise StorageError("append columns have differing lengths")
+            appended[field.name] = column
+        if not row_count:
+            return
+        for name, column in appended.items():
+            self._columns[name] = ColumnVector.concat([self._columns[name], column])
+        self.row_count += row_count
+        self._block_stats.clear()
+
+    def replace_rows(self, keep_mask: np.ndarray) -> None:
+        """Rewrite the partition keeping only rows where *keep_mask* is True.
+
+        Used by table-level delete.  Global rowids are reassigned by the
+        owning table afterwards.
+        """
+        if len(keep_mask) != self.row_count:
+            raise StorageError("keep_mask length mismatch")
+        for name in list(self._columns):
+            self._columns[name] = self._columns[name].filter(keep_mask)
+        self.row_count = int(keep_mask.sum())
+        self._block_stats.clear()
+
+    def project(self, names: Sequence[str]) -> dict[str, ColumnVector]:
+        """Return references to the requested column vectors."""
+        return {name: self.column(name) for name in names}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Partition(id={self.partition_id}, rows={self.row_count}, "
+            f"base_rowid={self.base_rowid})"
+        )

@@ -1,0 +1,171 @@
+"""Write-ahead log for DDL and PatchIndex creation.
+
+The paper keeps the WAL slim: a ``CREATE PATCHINDEX`` record is logged
+*without* the discovered patches, and on log replay the index is rebuilt
+from the data using the same discovery mechanism as at creation time
+(paper §V).  This module implements that design as a JSON-lines log.
+
+Record kinds:
+
+``create_table``     table name, schema, partition count
+``drop_table``       table name
+``create_index``     index name, table, column, kind, mode, threshold
+``drop_index``       index name
+``checkpoint``       marker after which earlier records may be pruned
+
+Row data is *not* logged — this WAL covers metadata durability only,
+which is exactly the scope the paper describes for PatchIndexes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import WalError
+
+_KNOWN_KINDS = frozenset(
+    {"create_table", "drop_table", "create_index", "drop_index", "checkpoint"}
+)
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One log record: a kind plus a JSON-serializable payload."""
+
+    lsn: int
+    kind: str
+    payload: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        # The payload is nested so its keys (e.g. an index's own "kind")
+        # can never collide with the record envelope.
+        return json.dumps(
+            {"lsn": self.lsn, "kind": self.kind, "payload": self.payload}
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "WalRecord":
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WalError(f"corrupt WAL line: {line!r}") from exc
+        if not isinstance(raw, dict) or "kind" not in raw or "lsn" not in raw:
+            raise WalError(f"malformed WAL record: {line!r}")
+        kind = raw["kind"]
+        lsn = raw["lsn"]
+        payload = raw.get("payload", {})
+        if kind not in _KNOWN_KINDS:
+            raise WalError(f"unknown WAL record kind: {kind!r}")
+        if not isinstance(payload, dict):
+            raise WalError(f"malformed WAL payload: {line!r}")
+        return cls(lsn=int(lsn), kind=kind, payload=payload)
+
+
+class WriteAheadLog:
+    """Append-only JSONL log with replay support.
+
+    When *path* is ``None`` the log is kept in memory only, which is the
+    convenient mode for tests and benchmarks; passing a path gives
+    on-disk durability with fsync-on-append.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None, sync: bool = True):
+        self._path = Path(path) if path is not None else None
+        self._sync = sync
+        self._records: list[WalRecord] = []
+        self._next_lsn = 1
+        if self._path is not None and self._path.exists():
+            self._records = list(self._read_from_disk())
+            if self._records:
+                self._next_lsn = self._records[-1].lsn + 1
+
+    @property
+    def path(self) -> Path | None:
+        return self._path
+
+    def _read_from_disk(self) -> Iterator[WalRecord]:
+        assert self._path is not None
+        previous_lsn = 0
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = WalRecord.from_json(line)
+                if record.lsn <= previous_lsn:
+                    raise WalError(
+                        f"non-monotonic LSN {record.lsn} after {previous_lsn}"
+                    )
+                previous_lsn = record.lsn
+                yield record
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, kind: str, payload: dict | None = None) -> WalRecord:
+        """Append a record, durably when the log is file-backed."""
+        if kind not in _KNOWN_KINDS:
+            raise WalError(f"unknown WAL record kind: {kind!r}")
+        record = WalRecord(self._next_lsn, kind, dict(payload or {}))
+        self._next_lsn += 1
+        self._records.append(record)
+        if self._path is not None:
+            with open(self._path, "a", encoding="utf-8") as handle:
+                handle.write(record.to_json() + "\n")
+                handle.flush()
+                if self._sync:
+                    os.fsync(handle.fileno())
+        return record
+
+    def checkpoint(self) -> WalRecord:
+        """Write a checkpoint marker."""
+        return self.append("checkpoint")
+
+    # -- reading -------------------------------------------------------------
+
+    def records(self) -> list[WalRecord]:
+        """All records in LSN order."""
+        return list(self._records)
+
+    def live_records(self) -> list[WalRecord]:
+        """Records that still have an effect after replay.
+
+        Create records cancelled by a later matching drop are elided, and
+        drop records themselves never survive (they only cancel).  The
+        result is what a replay actually needs to apply.
+        """
+        dropped_tables: set[str] = set()
+        dropped_indexes: set[str] = set()
+        live: list[WalRecord] = []
+        for record in reversed(self._records):
+            if record.kind == "drop_table":
+                dropped_tables.add(record.payload["name"])
+            elif record.kind == "drop_index":
+                dropped_indexes.add(record.payload["name"])
+            elif record.kind == "create_table":
+                name = record.payload["name"]
+                if name in dropped_tables:
+                    dropped_tables.discard(name)
+                else:
+                    live.append(record)
+            elif record.kind == "create_index":
+                name = record.payload["name"]
+                table = record.payload["table"]
+                if name in dropped_indexes or table in dropped_tables:
+                    dropped_indexes.discard(name)
+                else:
+                    live.append(record)
+        live.reverse()
+        return live
+
+    def truncate(self) -> None:
+        """Discard all records (after an external full checkpoint)."""
+        self._records.clear()
+        if self._path is not None and self._path.exists():
+            self._path.unlink()
+
+    def __len__(self) -> int:
+        return len(self._records)

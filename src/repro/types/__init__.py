@@ -1,0 +1,23 @@
+"""Logical type system for the repro engine."""
+
+from repro.types.datatypes import (
+    DataType,
+    numpy_dtype,
+    python_type,
+    infer_datatype,
+    coerce_scalar,
+    is_numeric,
+    is_orderable,
+    common_type,
+)
+
+__all__ = [
+    "DataType",
+    "numpy_dtype",
+    "python_type",
+    "infer_datatype",
+    "coerce_scalar",
+    "is_numeric",
+    "is_orderable",
+    "common_type",
+]

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, DataType, Field, Schema, Table
+from repro.storage.column import ColumnVector
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    return Schema(
+        [
+            Field("a", DataType.INT64),
+            Field("b", DataType.STRING),
+            Field("c", DataType.FLOAT64),
+        ]
+    )
+
+
+@pytest.fixture
+def simple_table(simple_schema: Schema) -> Table:
+    """Eight rows over two partitions; column 'a' has dups and a NULL."""
+    return Table.from_pydict(
+        "t",
+        simple_schema,
+        {
+            "a": [3, 1, 2, 2, 5, None, 7, 4],
+            "b": list("abcdefgh"),
+            "c": [0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5],
+        },
+        partition_count=2,
+    )
+
+
+@pytest.fixture
+def figure2_column() -> ColumnVector:
+    """The running example column of the paper's Figure 2."""
+    return ColumnVector.from_pylist(DataType.INT64, [1, 3, 4, 3, 2, 6, 7, 6])
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database()
+
+
+def make_int_column(values: list[int | None]) -> ColumnVector:
+    return ColumnVector.from_pylist(DataType.INT64, values)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,88 @@
+"""Unit tests for per-block min/max sketches and block pruning."""
+
+import pytest
+
+from repro.storage.blocks import BlockStats, compute_block_stats, prune_blocks
+from repro.storage.column import ColumnVector
+from repro.types import DataType
+
+
+class TestComputeBlockStats:
+    def test_basic(self):
+        vector = ColumnVector.from_pylist(DataType.INT64, list(range(10)))
+        stats = compute_block_stats(vector, block_size=4)
+        assert [(s.start, s.stop) for s in stats] == [(0, 4), (4, 8), (8, 10)]
+        assert stats[0].minimum == 0 and stats[0].maximum == 3
+        assert stats[2].minimum == 8 and stats[2].maximum == 9
+
+    def test_nulls_counted_and_skipped(self):
+        vector = ColumnVector.from_pylist(DataType.INT64, [5, None, 7, None])
+        stats = compute_block_stats(vector, block_size=4)
+        assert stats[0].null_count == 2
+        assert stats[0].minimum == 5
+        assert stats[0].maximum == 7
+
+    def test_all_null_block(self):
+        vector = ColumnVector.from_pylist(DataType.INT64, [None, None])
+        stats = compute_block_stats(vector, block_size=2)
+        assert stats[0].minimum is None
+        assert stats[0].maximum is None
+
+    def test_string_blocks(self):
+        vector = ColumnVector.from_pylist(DataType.STRING, ["b", "a", "d"])
+        stats = compute_block_stats(vector, block_size=8)
+        assert stats[0].minimum == "a"
+        assert stats[0].maximum == "d"
+
+
+class TestMayContain:
+    @pytest.fixture
+    def block(self) -> BlockStats:
+        return BlockStats(0, 10, 10, 20, 0)
+
+    def test_equality(self, block):
+        assert block.may_contain("=", 15)
+        assert not block.may_contain("=", 9)
+        assert not block.may_contain("=", 21)
+
+    def test_ranges(self, block):
+        assert block.may_contain(">", 19)
+        assert not block.may_contain(">", 20)
+        assert block.may_contain(">=", 20)
+        assert block.may_contain("<", 11)
+        assert not block.may_contain("<", 10)
+        assert block.may_contain("<=", 10)
+
+    def test_not_equal(self):
+        constant = BlockStats(0, 4, 7, 7, 0)
+        assert not constant.may_contain("!=", 7)
+        assert constant.may_contain("!=", 8)
+
+    def test_all_null_prunable(self):
+        block = BlockStats(0, 4, None, None, 4)
+        assert not block.may_contain("=", 1)
+
+    def test_unknown_op_conservative(self, block):
+        assert block.may_contain("like", 0)
+
+
+class TestPruneBlocks:
+    def test_coalesces_adjacent(self):
+        stats = [
+            BlockStats(0, 4, 0, 3, 0),
+            BlockStats(4, 8, 4, 7, 0),
+            BlockStats(8, 12, 100, 110, 0),
+        ]
+        assert prune_blocks(stats, "<", 8) == [(0, 8)]
+
+    def test_disjoint_ranges(self):
+        stats = [
+            BlockStats(0, 4, 0, 3, 0),
+            BlockStats(4, 8, 50, 60, 0),
+            BlockStats(8, 12, 1, 2, 0),
+        ]
+        assert prune_blocks(stats, "<=", 3) == [(0, 4), (8, 12)]
+
+    def test_nothing_survives(self):
+        stats = [BlockStats(0, 4, 0, 3, 0)]
+        assert prune_blocks(stats, ">", 99) == []

@@ -1,0 +1,118 @@
+"""Unit tests for the NUC/NSC validators (the test suite's own oracle
+is itself tested here against hand-worked examples)."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    ConstraintKind,
+    check_nsc,
+    check_nuc,
+    exception_rate,
+    values_are_sorted,
+)
+from repro.storage.column import ColumnVector
+from repro.types import DataType
+
+
+def col(items):
+    return ColumnVector.from_pylist(DataType.INT64, items)
+
+
+class TestConstraintKind:
+    def test_from_name(self):
+        assert ConstraintKind.from_name("UNIQUE") == ConstraintKind.UNIQUE
+        assert ConstraintKind.from_name(" sorted ") == ConstraintKind.SORTED
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            ConstraintKind.from_name("primary")
+
+
+class TestExceptionRate:
+    def test_basic(self):
+        assert exception_rate(5, 100) == 0.05
+
+    def test_empty_relation(self):
+        assert exception_rate(0, 0) == 0.0
+
+
+class TestCheckNuc:
+    def test_valid_patch_set(self):
+        # values 3 and 6 duplicated: all four occurrences must be patches.
+        column = col([1, 3, 4, 3, 2, 6, 7, 6])
+        assert check_nuc(column, np.array([1, 3, 5, 7]))
+
+    def test_nuc1_violation(self):
+        column = col([1, 3, 3])
+        # Keeping both 3s violates uniqueness.
+        assert not check_nuc(column, np.array([0]))
+
+    def test_nuc2_violation(self):
+        column = col([1, 3, 3])
+        # Excluding only one occurrence: kept {1,3} intersects patches {3}.
+        assert not check_nuc(column, np.array([2]))
+
+    def test_nuc3_threshold(self):
+        column = col([1, 3, 3, 4])
+        patches = np.array([1, 2])
+        assert check_nuc(column, patches, threshold=0.5)
+        assert not check_nuc(column, patches, threshold=0.4)
+
+    def test_nulls_must_be_patches(self):
+        column = col([1, None, 3])
+        assert not check_nuc(column, np.array([], dtype=np.int64))
+        assert check_nuc(column, np.array([1]))
+
+    def test_empty_patches_on_unique(self):
+        assert check_nuc(col([1, 2, 3]), np.array([], dtype=np.int64))
+
+
+class TestCheckNsc:
+    def test_valid_patch_set(self):
+        column = col([1, 3, 4, 3, 2, 6, 7, 6])
+        assert check_nsc(column, np.array([2, 4, 7]))
+        assert check_nsc(column, np.array([3, 4, 7]))
+
+    def test_invalid_patch_set(self):
+        column = col([1, 3, 4, 3, 2, 6, 7, 6])
+        assert not check_nsc(column, np.array([4, 7]))
+
+    def test_threshold(self):
+        column = col([2, 1])
+        assert check_nsc(column, np.array([0]), threshold=0.5)
+        assert not check_nsc(column, np.array([0]), threshold=0.4)
+
+    def test_descending(self):
+        column = col([9, 7, 8, 5])
+        assert check_nsc(column, np.array([2]), ascending=False)
+        assert not check_nsc(column, np.array([], dtype=np.int64), ascending=False)
+
+    def test_strict(self):
+        column = col([1, 2, 2, 3])
+        assert check_nsc(column, np.array([], dtype=np.int64), strict=False)
+        assert not check_nsc(column, np.array([], dtype=np.int64), strict=True)
+        assert check_nsc(column, np.array([2]), strict=True)
+
+    def test_nulls_must_be_patches(self):
+        column = col([1, None, 3])
+        assert not check_nsc(column, np.array([], dtype=np.int64))
+        assert check_nsc(column, np.array([1]))
+
+
+class TestValuesAreSorted:
+    def test_numeric(self):
+        assert values_are_sorted(np.array([1, 2, 2, 3]))
+        assert not values_are_sorted(np.array([1, 2, 2, 3]), strict=True)
+        assert values_are_sorted(np.array([3, 2, 1]), ascending=False)
+        assert values_are_sorted(np.array([3, 2, 1]), ascending=False, strict=True)
+
+    def test_object(self):
+        values = np.array(["a", "b", "b"], dtype=object)
+        assert values_are_sorted(values)
+        assert not values_are_sorted(values, strict=True)
+        assert values_are_sorted(values[::-1], ascending=False)
+
+    def test_trivial(self):
+        assert values_are_sorted(np.array([], dtype=np.int64))
+        assert values_are_sorted(np.array([7], dtype=np.int64), strict=True)

@@ -1,0 +1,171 @@
+"""Unit and property tests for NUC/NSC discovery.
+
+Properties verified against the formal validators of
+:mod:`repro.core.constraints`:
+
+- NUC discovery always satisfies NUC1 + NUC2 and is minimal (the patch
+  set is exactly the duplicated-or-NULL rows).
+- NSC discovery always satisfies NSC1 and is minimal (cardinality
+  equals ``n - LIS(valid values)``).
+- Table-level discovery honours the paper's partition semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constraints import check_nsc, check_nuc
+from repro.core.discovery import (
+    discover,
+    discover_nsc_patches,
+    discover_nuc_patches,
+    discover_table_nsc,
+    discover_table_nuc,
+    nuc_discovery_sql,
+)
+from repro.core.lis import longest_sorted_subsequence_length
+from repro.storage.column import ColumnVector
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+int_or_none = st.one_of(st.none(), st.integers(0, 20))
+
+
+def col(items):
+    return ColumnVector.from_pylist(DataType.INT64, items)
+
+
+class TestNucDiscovery:
+    def test_paper_figure2_example(self):
+        # Values 3 and 6 occur twice: all four occurrences are patches.
+        patches = discover_nuc_patches(col([1, 3, 4, 3, 2, 6, 7, 6]))
+        assert patches.tolist() == [1, 3, 5, 7]
+
+    def test_all_unique(self):
+        assert discover_nuc_patches(col([5, 2, 9])).tolist() == []
+
+    def test_all_duplicates(self):
+        assert discover_nuc_patches(col([1, 1, 1])).tolist() == [0, 1, 2]
+
+    def test_nulls_are_patches(self):
+        assert discover_nuc_patches(col([1, None, 2, None])).tolist() == [1, 3]
+
+    def test_empty(self):
+        assert discover_nuc_patches(col([])).tolist() == []
+
+    def test_strings(self):
+        column = ColumnVector.from_pylist(
+            DataType.STRING, ["a", "b", "a", None]
+        )
+        assert discover_nuc_patches(column).tolist() == [0, 2, 3]
+
+    @given(st.lists(int_or_none, max_size=80))
+    @settings(max_examples=150)
+    def test_satisfies_nuc_and_minimal(self, items):
+        column = col(items)
+        patches = discover_nuc_patches(column)
+        assert check_nuc(column, patches)
+        # Minimality: exactly the duplicated-or-null positions.
+        counts: dict[int, int] = {}
+        for item in items:
+            if item is not None:
+                counts[item] = counts.get(item, 0) + 1
+        expected = [
+            position
+            for position, item in enumerate(items)
+            if item is None or counts[item] > 1
+        ]
+        assert patches.tolist() == expected
+
+
+class TestNscDiscovery:
+    def test_minimal_patch_count(self):
+        column = col([1, 3, 4, 3, 2, 6, 7, 6])
+        patches = discover_nsc_patches(column)
+        assert len(patches) == 3
+
+    def test_sorted_input(self):
+        assert discover_nsc_patches(col([1, 2, 2, 9])).tolist() == []
+
+    def test_nulls_are_patches(self):
+        patches = discover_nsc_patches(col([1, None, 2]))
+        assert 1 in patches.tolist()
+
+    def test_descending(self):
+        patches = discover_nsc_patches(col([9, 5, 7, 3]), ascending=False)
+        assert len(patches) == 1
+
+    @given(st.lists(int_or_none, max_size=80), st.booleans(), st.booleans())
+    @settings(max_examples=150)
+    def test_satisfies_nsc_and_minimal(self, items, ascending, strict):
+        column = col(items)
+        patches = discover_nsc_patches(column, ascending=ascending, strict=strict)
+        assert check_nsc(column, patches, ascending=ascending, strict=strict)
+        valid = [item for item in items if item is not None]
+        lis = longest_sorted_subsequence_length(
+            np.array(valid, dtype=np.int64), ascending=ascending, strict=strict
+        )
+        assert len(patches) == len(items) - lis
+
+
+class TestTableLevelDiscovery:
+    def make_table(self, values, partition_count):
+        return Table.from_pydict(
+            "t",
+            Schema([Field("c", DataType.INT64)]),
+            {"c": values},
+            partition_count=partition_count,
+        )
+
+    def test_nuc_grouping_is_global(self):
+        # 5 appears once in each partition: both occurrences are patches
+        # even though each partition sees it only once locally.
+        table = self.make_table([5, 1, 2, 5, 3, 4], partition_count=2)
+        result = discover_table_nuc(table, "c")
+        assert result.global_rowids().tolist() == [0, 3]
+        assert result.per_partition_rowids[0].tolist() == [0]
+        assert result.per_partition_rowids[1].tolist() == [0]  # local id
+
+    def test_nsc_partition_scope(self):
+        # Each partition is locally sorted; globally the sequence drops
+        # at the partition boundary.  Partition-scope discovery (the
+        # paper's §VI-A2 design) finds 0 patches.
+        table = self.make_table([10, 20, 30, 1, 2, 3], partition_count=2)
+        result = discover_table_nsc(table, "c", scope="partition")
+        assert result.patch_count == 0
+
+    def test_nsc_global_scope(self):
+        # Global scope (this engine's default) sees the drop at the
+        # partition boundary and patches one side of it.
+        table = self.make_table([10, 20, 30, 1, 2, 3], partition_count=2)
+        result = discover_table_nsc(table, "c", scope="global")
+        assert result.patch_count == 3
+        # Patches are still stored partition-locally.
+        assert len(result.per_partition_rowids) == 2
+
+    def test_nsc_unknown_scope(self):
+        table = self.make_table([1, 2], partition_count=1)
+        with pytest.raises(ValueError):
+            discover_table_nsc(table, "c", scope="cluster")
+
+    def test_exception_rate_and_satisfies(self):
+        table = self.make_table([1, 1, 2, 3], partition_count=1)
+        result = discover_table_nuc(table, "c")
+        assert result.exception_rate == 0.5
+        assert result.satisfies(0.5)
+        assert not result.satisfies(0.49)
+
+    def test_discover_dispatch(self):
+        table = self.make_table([1, 2, 2], partition_count=1)
+        assert discover(table, "c", "unique").patch_count == 2
+        assert discover(table, "c", "sorted").patch_count == 0
+
+
+class TestDiscoverySql:
+    def test_sql_shape(self):
+        sql = nuc_discovery_sql("tab", "c")
+        assert "left outer join" in sql
+        assert "group by c" in sql
+        assert "having count(*) > 1" in sql
+        assert "tab.c is null" in sql

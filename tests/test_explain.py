@@ -1,0 +1,59 @@
+"""Tests for plan explain rendering (estimates, EXPLAIN statement)."""
+
+from repro import Database
+from repro.plan import logical as lp
+from repro.plan.explain import explain_both, explain_logical
+from repro.plan.physical import PhysicalPlanner
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+
+def make_scan():
+    table = Table.from_pydict(
+        "t", Schema([Field("a", DataType.INT64)]), {"a": list(range(10))}
+    )
+    return lp.LogicalScan(table)
+
+
+class TestExplainLogical:
+    def test_estimates_annotated(self):
+        text = explain_logical(make_scan())
+        assert "[~10 rows]" in text
+
+    def test_estimates_can_be_disabled(self):
+        text = explain_logical(make_scan(), with_estimates=False)
+        assert "rows]" not in text
+
+    def test_patch_select_estimate_is_exact(self):
+        from repro.core.patch_index import PatchIndex
+
+        table = Table.from_pydict(
+            "t", Schema([Field("a", DataType.INT64)]), {"a": [1, 1, 2, 3]}
+        )
+        index = PatchIndex.create("pi", table, "a", "unique")
+        plan = lp.LogicalPatchSelect(
+            lp.LogicalScan(table), index, use_patches=True
+        )
+        assert "[~2 rows]" in explain_logical(plan)
+
+
+class TestExplainBoth:
+    def test_sections(self):
+        scan = make_scan()
+        operator = PhysicalPlanner().plan(scan)
+        text = explain_both(scan, operator)
+        assert "== logical plan ==" in text
+        assert "== physical plan ==" in text
+        assert "TableScan(t)" in text
+
+
+class TestExplainStatement:
+    def test_explain_through_sql(self):
+        db = Database()
+        db.sql("CREATE TABLE t (a BIGINT)")
+        db.sql("INSERT INTO t VALUES (1), (2)")
+        text = db.explain("SELECT a FROM t WHERE a > 1 ORDER BY a LIMIT 1")
+        assert "TopN" in text
+        assert "Filter" in text
+        assert "rows]" in text

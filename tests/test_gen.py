@@ -1,0 +1,127 @@
+"""Tests for the data generators: the paper's column properties must hold."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.core.discovery import (
+    discover_nsc_patches,
+    discover_nuc_patches,
+    discover_table_nsc,
+    discover_table_nuc,
+)
+from repro.gen.synthetic import (
+    sorted_with_exceptions,
+    synthetic_table,
+    unique_with_exceptions,
+)
+from repro.gen.tpcds import TpcdsGenerator, load_tpcds
+
+
+class TestUniqueWithExceptions:
+    @pytest.mark.parametrize("rate", [0.0, 0.01, 0.1, 0.5, 0.9])
+    def test_discovered_rate_matches(self, rate):
+        n = 10_000
+        column = unique_with_exceptions(n, rate, seed=1)
+        discovered = len(discover_nuc_patches(column)) / n
+        assert discovered == pytest.approx(rate, abs=0.01)
+
+    def test_deterministic(self):
+        first = unique_with_exceptions(1000, 0.1, seed=7)
+        second = unique_with_exceptions(1000, 0.1, seed=7)
+        assert first.to_pylist() == second.to_pylist()
+
+    def test_null_injection(self):
+        column = unique_with_exceptions(1000, 0.0, null_rate=0.05, seed=2)
+        assert column.null_count() == 50
+
+    def test_group_pool_size(self):
+        column = unique_with_exceptions(10_000, 0.5, n_groups=10, seed=3)
+        values = column.values
+        exceptions = values[values >= 10_000]
+        assert len(np.unique(exceptions)) <= 10
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            unique_with_exceptions(10, 1.5)
+
+
+class TestSortedWithExceptions:
+    @pytest.mark.parametrize("rate", [0.0, 0.01, 0.1, 0.3])
+    def test_discovered_rate_close(self, rate):
+        # The paper reports ±0.1% jitter; random replacements can fit by
+        # chance, so allow a slightly wider tolerance at small n.
+        n = 10_000
+        column = sorted_with_exceptions(n, rate, seed=4)
+        discovered = len(discover_nsc_patches(column)) / n
+        assert discovered == pytest.approx(rate, abs=0.02)
+
+    def test_zero_rate_is_sorted(self):
+        column = sorted_with_exceptions(1000, 0.0)
+        assert len(discover_nsc_patches(column)) == 0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            sorted_with_exceptions(10, -0.1)
+
+
+class TestSyntheticTable:
+    def test_shape_and_rates(self):
+        table = synthetic_table(
+            "syn",
+            5000,
+            unique_exception_rate=0.05,
+            sorted_exception_rate=0.05,
+            partition_count=3,
+            seed=5,
+        )
+        assert table.row_count == 5000
+        assert table.partition_count == 3
+        nuc = discover_table_nuc(table, "u")
+        assert nuc.exception_rate == pytest.approx(0.05, abs=0.01)
+        nsc = discover_table_nsc(table, "s")
+        assert nsc.exception_rate <= 0.06
+
+
+class TestTpcds:
+    def test_date_dim_sorted_pk(self):
+        generator = TpcdsGenerator()
+        columns = generator.date_dim(n_days=400)
+        sk = columns["d_date_sk"].values
+        assert (np.diff(sk) == 1).all()
+        assert columns["d_year"].values[0] == 1998
+
+    def test_catalog_sales_nearly_sorted(self):
+        generator = TpcdsGenerator()
+        columns = generator.catalog_sales(20_000, sold_date_exception_rate=0.005)
+        rate = len(discover_nsc_patches(columns["cs_sold_date_sk"])) / 20_000
+        assert rate == pytest.approx(0.005, abs=0.002)
+
+    def test_customer_exception_rates_match_table1(self):
+        generator = TpcdsGenerator()
+        columns = generator.customer(20_000)
+        email_rate = len(discover_nuc_patches(columns["c_email_address"])) / 20_000
+        addr_rate = len(discover_nuc_patches(columns["c_current_addr_sk"])) / 20_000
+        assert email_rate == pytest.approx(0.036, abs=0.005)
+        assert addr_rate == pytest.approx(0.865, abs=0.02)
+
+    def test_load_tpcds(self):
+        db = Database()
+        tables = load_tpcds(
+            db, catalog_sales_rows=5000, customer_rows=2000, n_days=365
+        )
+        assert set(tables) == {"date_dim", "customer", "catalog_sales"}
+        assert db.table("catalog_sales").row_count == 5000
+        # Every sold date joins a dimension row.
+        result = db.sql(
+            "SELECT COUNT(*) AS n FROM catalog_sales cs "
+            "JOIN date_dim d ON cs.cs_sold_date_sk = d.d_date_sk"
+        )
+        assert result.scalar() == 5000
+
+    def test_ship_after_sold(self):
+        generator = TpcdsGenerator()
+        columns = generator.catalog_sales(1000)
+        sold = columns["cs_sold_date_sk"].values
+        ship = columns["cs_ship_date_sk"].values
+        assert (ship > sold).all()

@@ -1,0 +1,115 @@
+"""Property and unit tests for the longest sorted subsequence algorithm."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lis import (
+    longest_sorted_subsequence_indices,
+    longest_sorted_subsequence_length,
+)
+
+
+def brute_force_length(values, ascending=True, strict=False) -> int:
+    """O(n^2) DP reference for the LIS length."""
+    n = len(values)
+    if n == 0:
+        return 0
+    best = [1] * n
+    for i in range(n):
+        for j in range(i):
+            if _ok(values[j], values[i], ascending, strict):
+                best[i] = max(best[i], best[j] + 1)
+    return max(best)
+
+
+def _ok(a, b, ascending, strict) -> bool:
+    if ascending:
+        return a < b if strict else a <= b
+    return a > b if strict else a >= b
+
+
+def check_subsequence(values, indices, ascending=True, strict=False):
+    """The returned indices must be ascending and select a sorted run."""
+    assert list(indices) == sorted(set(int(i) for i in indices))
+    selected = [values[int(i)] for i in indices]
+    for left, right in zip(selected[:-1], selected[1:]):
+        assert _ok(left, right, ascending, strict)
+
+
+class TestSmallCases:
+    def test_empty(self):
+        assert len(longest_sorted_subsequence_indices(np.array([], dtype=np.int64))) == 0
+
+    def test_single(self):
+        indices = longest_sorted_subsequence_indices(np.array([5], dtype=np.int64))
+        assert indices.tolist() == [0]
+
+    def test_already_sorted(self):
+        values = np.arange(10, dtype=np.int64)
+        assert longest_sorted_subsequence_indices(values).tolist() == list(range(10))
+
+    def test_reverse_sorted(self):
+        values = np.arange(10, dtype=np.int64)[::-1].copy()
+        assert longest_sorted_subsequence_length(values) == 1
+
+    def test_mixed_disorder(self):
+        # 1,3,3,6,7 (or 1,3,4,6,7 / 1,3,3,6,6) is a longest run: length 5.
+        values = np.array([1, 3, 4, 3, 2, 6, 7, 6], dtype=np.int64)
+        assert longest_sorted_subsequence_length(values) == 5
+
+    def test_duplicates_nonstrict(self):
+        values = np.array([2, 2, 2], dtype=np.int64)
+        assert longest_sorted_subsequence_length(values) == 3
+
+    def test_duplicates_strict(self):
+        values = np.array([2, 2, 2], dtype=np.int64)
+        assert longest_sorted_subsequence_length(values, strict=True) == 1
+
+    def test_descending(self):
+        values = np.array([5, 6, 4, 3, 7, 2], dtype=np.int64)
+        indices = longest_sorted_subsequence_indices(values, ascending=False)
+        check_subsequence(values, indices, ascending=False)
+        assert len(indices) == 4  # 5, 4, 3, 2 (or 6, 4, 3, 2)
+
+    def test_strings(self):
+        values = np.array(["b", "a", "c", "c", "b", "d"], dtype=object)
+        indices = longest_sorted_subsequence_indices(values)
+        check_subsequence(values, indices)
+        assert len(indices) == 4  # a c c d  (or b c c d)
+
+    def test_strings_descending(self):
+        values = np.array(["b", "c", "a"], dtype=object)
+        indices = longest_sorted_subsequence_indices(values, ascending=False)
+        check_subsequence(values, indices, ascending=False)
+        assert len(indices) == 2
+
+    def test_floats(self):
+        values = np.array([0.5, 0.1, 0.2, 0.9], dtype=np.float64)
+        assert longest_sorted_subsequence_length(values) == 3
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-50, 50), max_size=60), st.booleans(), st.booleans())
+    @settings(max_examples=200)
+    def test_matches_brute_force_and_is_valid(self, items, ascending, strict):
+        values = np.array(items, dtype=np.int64)
+        indices = longest_sorted_subsequence_indices(
+            values, ascending=ascending, strict=strict
+        )
+        check_subsequence(items, indices, ascending, strict)
+        assert len(indices) == brute_force_length(items, ascending, strict)
+
+    @given(st.lists(st.text(alphabet="abc", max_size=3), max_size=40))
+    def test_object_dtype_matches_brute_force(self, items):
+        values = np.empty(len(items), dtype=object)
+        for position, item in enumerate(items):
+            values[position] = item
+        indices = longest_sorted_subsequence_indices(values)
+        check_subsequence(items, indices)
+        assert len(indices) == brute_force_length(items)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_sorted_input_is_fixed_point(self, items):
+        items.sort()
+        values = np.array(items, dtype=np.int64)
+        assert longest_sorted_subsequence_length(values) == len(items)

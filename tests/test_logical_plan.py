@@ -1,0 +1,121 @@
+"""Tests for logical plan nodes: schemas, children, explain rendering."""
+
+import pytest
+
+from repro.core.patch_index import PatchIndex
+from repro.errors import PlanError
+from repro.exec.expressions import ColumnRef, Comparison, Literal
+from repro.exec.operators.aggregate import AggregateSpec
+from repro.exec.operators.sort import SortKey
+from repro.plan import logical as lp
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table.from_pydict(
+        "t",
+        Schema([Field("a", DataType.INT64), Field("b", DataType.STRING)]),
+        {"a": [1, 2, 2], "b": ["x", "y", "z"]},
+    )
+
+
+class TestSchemas:
+    def test_scan_schema(self, table):
+        assert lp.LogicalScan(table).schema.names == ("a", "b")
+        assert lp.LogicalScan(table, ("b",)).schema.names == ("b",)
+        assert lp.LogicalScan(table, with_tid=True).schema.names == (
+            "a",
+            "b",
+            "tid",
+        )
+
+    def test_filter_project_schema(self, table):
+        scan = lp.LogicalScan(table)
+        filtered = lp.LogicalFilter(
+            scan, Comparison(">", ColumnRef("a"), Literal(0))
+        )
+        assert filtered.schema == scan.schema
+        project = lp.LogicalProject(filtered, (("renamed", ColumnRef("a")),))
+        assert project.schema.names == ("renamed",)
+
+    def test_aggregate_schema(self, table):
+        plan = lp.LogicalAggregate(
+            lp.LogicalScan(table),
+            ("b",),
+            (AggregateSpec("count_star", None, "n"),),
+        )
+        assert plan.schema.names == ("b", "n")
+        assert plan.schema.field("n").dtype == DataType.INT64
+
+    def test_join_schema_and_outer_nullability(self, table):
+        other = Table.from_pydict(
+            "u", Schema([Field("k", DataType.INT64)]), {"k": [1]}
+        )
+        inner = lp.LogicalJoin(
+            lp.LogicalScan(table), lp.LogicalScan(other), "a", "k"
+        )
+        assert inner.schema.names == ("a", "b", "k")
+        outer = lp.LogicalJoin(
+            lp.LogicalScan(table), lp.LogicalScan(other), "a", "k", "left_outer"
+        )
+        assert outer.schema.field("k").nullable
+
+    def test_union_and_merge_union(self, table):
+        scan = lp.LogicalScan(table, ("a",))
+        union = lp.LogicalUnionAll((scan, scan))
+        assert union.schema.names == ("a",)
+        merge = lp.LogicalMergeUnion(scan, scan, (SortKey("a"),))
+        assert merge.schema.names == ("a",)
+
+    def test_patch_select_requires_scan_child(self, table):
+        index = PatchIndex.create("pi", table, "a", "unique")
+        filtered = lp.LogicalFilter(
+            lp.LogicalScan(table), Comparison(">", ColumnRef("a"), Literal(0))
+        )
+        with pytest.raises(PlanError):
+            lp.LogicalPatchSelect(filtered, index)
+
+
+class TestWithChildren:
+    def test_roundtrip_rebuild(self, table):
+        scan = lp.LogicalScan(table)
+        nodes = [
+            lp.LogicalFilter(scan, Comparison(">", ColumnRef("a"), Literal(0))),
+            lp.LogicalProject(scan, (("a", ColumnRef("a")),)),
+            lp.LogicalDistinct(scan),
+            lp.LogicalSort(scan, (SortKey("a"),)),
+            lp.LogicalLimit(scan, 3, 1),
+            lp.LogicalAggregate(
+                scan, (), (AggregateSpec("count_star", None, "n"),)
+            ),
+        ]
+        for node in nodes:
+            rebuilt = node.with_children(node.children())
+            assert type(rebuilt) is type(node)
+            assert rebuilt.schema == node.schema
+
+    def test_arity_checked(self, table):
+        scan = lp.LogicalScan(table)
+        node = lp.LogicalDistinct(scan)
+        with pytest.raises(PlanError):
+            node.with_children([scan, scan])
+        with pytest.raises(PlanError):
+            scan.with_children([scan])
+
+
+class TestExplain:
+    def test_explain_renders_tree(self, table):
+        plan = lp.LogicalLimit(
+            lp.LogicalSort(
+                lp.LogicalScan(table, ("a",)), (SortKey("a", False),)
+            ),
+            5,
+        )
+        text = plan.explain()
+        lines = text.splitlines()
+        assert lines[0].startswith("Limit(5")
+        assert lines[1].strip().startswith("Sort(a DESC")
+        assert lines[2].strip().startswith("Scan(t")

@@ -1,0 +1,241 @@
+"""Tests for incremental PatchIndex maintenance (paper §VIII outlook).
+
+The invariant under every mutation sequence: the maintained patch set
+still satisfies the formal constraint conditions (correctness), even
+though it may exceed the minimal set (conservatism is allowed and
+measured).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constraints import check_nsc, check_nuc
+from repro.core.patch_index import PatchIndex
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+
+def make_table(values, partition_count=1):
+    return Table.from_pydict(
+        "t",
+        Schema([Field("c", DataType.INT64)]),
+        {"c": values},
+        partition_count=partition_count,
+    )
+
+
+def assert_valid(index: PatchIndex):
+    """NUC validity is global; NSC validity follows the index scope
+    (global, or partition-local per the paper's §VI-A2)."""
+    if index.kind == "unique":
+        column = index.table.read_column(index.column_name)
+        rowids = index.rowids()
+        assert check_nuc(column, rowids), (
+            f"NUC violated: values={column.to_pylist()}, patches={rowids.tolist()}"
+        )
+        return
+    if index.scope == "global":
+        column = index.table.read_column(index.column_name)
+        rowids = index.rowids()
+        assert check_nsc(
+            column, rowids, ascending=index.ascending, strict=index.strict
+        ), (
+            f"global NSC violated: values={column.to_pylist()}, "
+            f"patches={rowids.tolist()}"
+        )
+        return
+    for partition in index.table.partitions:
+        column = partition.column(index.column_name)
+        local = index.partition_patches(partition.partition_id).rowids()
+        assert check_nsc(
+            column, local, ascending=index.ascending, strict=index.strict
+        ), (
+            f"NSC violated in partition {partition.partition_id}: "
+            f"values={column.to_pylist()}, patches={local.tolist()}"
+        )
+
+
+class TestNucAppend:
+    def test_fresh_value_stays_kept(self):
+        table = make_table([1, 2, 3])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.insert_rows([[4]])
+        assert index.patch_count == 0
+        assert_valid(index)
+
+    def test_duplicate_of_kept_demotes_both(self):
+        table = make_table([1, 2, 3])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.insert_rows([[2]])
+        # Both the old row (rowid 1) and the new row (rowid 3) are patches.
+        assert index.rowids().tolist() == [1, 3]
+        assert_valid(index)
+
+    def test_duplicate_of_patch_value(self):
+        table = make_table([5, 5, 1])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.insert_rows([[5]])
+        assert index.rowids().tolist() == [0, 1, 3]
+        assert_valid(index)
+
+    def test_null_insert_is_patch(self):
+        table = make_table([1, 2])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.insert_rows([[None]])
+        assert index.rowids().tolist() == [2]
+        assert_valid(index)
+
+    def test_stats_track_demotions(self):
+        table = make_table([1, 2, 3])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.insert_rows([[2], [9]])
+        assert index._maintainer is not None
+        assert index._maintainer.stats.kept_rows_demoted == 1
+        assert index._maintainer.stats.rows_appended == 2
+
+
+class TestNscAppend:
+    def test_extending_value_stays_kept(self):
+        table = make_table([1, 5, 9])
+        index = PatchIndex.create("pi", table, "c", "sorted")
+        table.insert_rows([[9], [12]])
+        assert index.patch_count == 0
+        assert_valid(index)
+
+    def test_out_of_order_value_is_patch(self):
+        table = make_table([1, 5, 9])
+        index = PatchIndex.create("pi", table, "c", "sorted")
+        table.insert_rows([[3]])
+        assert index.rowids().tolist() == [3]
+        assert_valid(index)
+
+    def test_null_is_patch(self):
+        table = make_table([1, 5])
+        index = PatchIndex.create("pi", table, "c", "sorted")
+        table.insert_rows([[None], [7]])
+        assert index.rowids().tolist() == [2]
+        assert_valid(index)
+
+    def test_tail_tracking_after_mixed_appends(self):
+        table = make_table([10])
+        index = PatchIndex.create("pi", table, "c", "sorted")
+        table.insert_rows([[5], [11], [11], [4]])
+        # 5 breaks order; 11, 11 extend; 4 breaks again.
+        assert index.rowids().tolist() == [1, 4]
+        assert_valid(index)
+
+
+class TestDelete:
+    def test_delete_remaps_nuc(self):
+        table = make_table([1, 3, 3, 7])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.delete_rowids([0])
+        assert index.rowids().tolist() == [0, 1]
+        assert_valid(index)
+
+    def test_delete_patch_rows(self):
+        table = make_table([1, 3, 3, 7])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.delete_rowids([1, 2])
+        # Conservative: no promotion needed, patch set simply shrinks.
+        assert index.patch_count == 0
+        assert_valid(index)
+
+    def test_delete_then_insert_rebuilds_state(self):
+        table = make_table([1, 2, 3, 4])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.delete_rowids([1])
+        table.insert_rows([[3]])  # duplicates kept value 3 (now rowid 1)
+        assert_valid(index)
+        assert index.patch_count == 2
+
+    def test_delete_remaps_nsc(self):
+        table = make_table([1, 9, 2, 3])
+        index = PatchIndex.create("pi", table, "c", "sorted")
+        assert index.rowids().tolist() == [1]
+        table.delete_rowids([0])
+        assert index.rowids().tolist() == [0]
+        assert_valid(index)
+
+
+class TestUpdate:
+    def test_update_indexed_column_demotes(self):
+        table = make_table([1, 2, 3])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.update_rowid(0, "c", 3)  # now duplicates kept value 3
+        assert set(index.rowids().tolist()) == {0, 2}
+        assert_valid(index)
+
+    def test_update_nsc_marks_patch(self):
+        table = make_table([1, 5, 9])
+        index = PatchIndex.create("pi", table, "c", "sorted")
+        table.update_rowid(1, "c", 100)
+        assert 1 in index.rowids().tolist()
+        assert_valid(index)
+
+    def test_update_other_column_ignored(self):
+        table = Table.from_pydict(
+            "t",
+            Schema([Field("c", DataType.INT64), Field("d", DataType.INT64)]),
+            {"c": [1, 2], "d": [0, 0]},
+        )
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.update_rowid(0, "d", 99)
+        assert index.patch_count == 0
+
+    def test_update_to_null(self):
+        table = make_table([1, 2, 3])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        table.update_rowid(1, "c", None)
+        assert 1 in index.rowids().tolist()
+        assert_valid(index)
+
+    def test_update_nsc_tail_then_append(self):
+        table = make_table([1, 5, 9])
+        index = PatchIndex.create("pi", table, "c", "sorted")
+        table.update_rowid(2, "c", 0)  # the tail row becomes a patch
+        table.insert_rows([[6]])  # 6 >= 5 (new tail): kept
+        assert index.rowids().tolist() == [2]
+        assert_valid(index)
+
+
+mutations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.one_of(st.none(), st.integers(0, 8))),
+        st.tuples(st.just("delete"), st.integers(0, 20)),
+        st.tuples(
+            st.just("update"),
+            st.tuples(st.integers(0, 20), st.one_of(st.none(), st.integers(0, 8))),
+        ),
+    ),
+    max_size=12,
+)
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(st.one_of(st.none(), st.integers(0, 8)), min_size=1, max_size=15),
+        mutations,
+        st.sampled_from(["unique", "sorted"]),
+        st.integers(1, 3),
+        st.sampled_from(["global", "partition"]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_constraint_holds_under_any_mutation_sequence(
+        self, initial, operations, kind, partitions, scope
+    ):
+        table = make_table(initial, partition_count=partitions)
+        index = PatchIndex.create("pi", table, "c", kind, scope=scope)
+        for operation, argument in operations:
+            if operation == "insert":
+                table.insert_rows([[argument]])
+            elif operation == "delete":
+                if table.row_count:
+                    table.delete_rowids([argument % table.row_count])
+            else:
+                rowid, value = argument
+                if table.row_count:
+                    table.update_rowid(rowid % table.row_count, "c", value)
+            assert_valid(index)

@@ -1,0 +1,227 @@
+"""Unit and property tests for HashAggregate and Distinct."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlanError, TypeMismatchError
+from repro.exec.operators.aggregate import AggregateSpec, HashAggregate
+from repro.exec.operators.distinct import Distinct
+from repro.exec.operators.scan import TableScan
+from repro.exec.result import collect
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+
+def make_table(data, schema=None, partition_count=2):
+    if schema is None:
+        schema = Schema(
+            [Field("g", DataType.STRING), Field("v", DataType.INT64)]
+        )
+    return Table.from_pydict("t", schema, data, partition_count=partition_count)
+
+
+@pytest.fixture
+def grouped_table():
+    return make_table(
+        {
+            "g": ["a", "b", "a", "b", "a", None, "c"],
+            "v": [1, 2, 3, None, 5, 6, None],
+        }
+    )
+
+
+class TestAggregateSpec:
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            AggregateSpec("median", "v", "m")
+        with pytest.raises(PlanError):
+            AggregateSpec("count_star", "v", "n")
+        with pytest.raises(PlanError):
+            AggregateSpec("sum", None, "s")
+
+    def test_output_types(self):
+        schema = Schema([Field("v", DataType.INT64)])
+        assert AggregateSpec("count", "v", "n").output_field(schema).dtype == DataType.INT64
+        assert AggregateSpec("avg", "v", "a").output_field(schema).dtype == DataType.FLOAT64
+        assert AggregateSpec("sum", "v", "s").output_field(schema).dtype == DataType.INT64
+        assert AggregateSpec("min", "v", "m").output_field(schema).dtype == DataType.INT64
+
+    def test_sum_requires_numeric(self):
+        schema = Schema([Field("s", DataType.STRING)])
+        with pytest.raises(TypeMismatchError):
+            AggregateSpec("sum", "s", "x").output_field(schema)
+
+
+class TestGlobalAggregates:
+    def test_all_functions(self, grouped_table):
+        result = collect(
+            HashAggregate(
+                TableScan(grouped_table),
+                [],
+                [
+                    AggregateSpec("count_star", None, "n"),
+                    AggregateSpec("count", "v", "cv"),
+                    AggregateSpec("count_distinct", "v", "dv"),
+                    AggregateSpec("sum", "v", "sv"),
+                    AggregateSpec("min", "v", "mn"),
+                    AggregateSpec("max", "v", "mx"),
+                    AggregateSpec("avg", "v", "av"),
+                ],
+            )
+        )
+        row = result.to_pylist()[0]
+        assert row == (7, 5, 5, 17, 1, 6, 3.4)
+
+    def test_empty_input(self):
+        table = make_table({"g": [], "v": []})
+        result = collect(
+            HashAggregate(
+                TableScan(table),
+                [],
+                [
+                    AggregateSpec("count_star", None, "n"),
+                    AggregateSpec("sum", "v", "s"),
+                    AggregateSpec("min", "v", "m"),
+                ],
+            )
+        )
+        assert result.to_pylist() == [(0, None, None)]
+
+    def test_all_null_column(self):
+        table = make_table({"g": ["a"], "v": [None]})
+        result = collect(
+            HashAggregate(
+                TableScan(table),
+                [],
+                [
+                    AggregateSpec("count", "v", "c"),
+                    AggregateSpec("avg", "v", "a"),
+                ],
+            )
+        )
+        assert result.to_pylist() == [(0, None)]
+
+
+class TestGroupedAggregates:
+    def test_group_by_string(self, grouped_table):
+        result = collect(
+            HashAggregate(
+                TableScan(grouped_table),
+                ["g"],
+                [
+                    AggregateSpec("count_star", None, "n"),
+                    AggregateSpec("sum", "v", "s"),
+                ],
+            )
+        )
+        rows = {row[0]: row[1:] for row in result.to_pylist()}
+        assert rows["a"] == (3, 9)
+        assert rows["b"] == (2, 2)
+        assert rows["c"] == (1, None)  # v is NULL for c
+        assert rows[None] == (1, 6)  # NULL keys form one group
+
+    def test_multi_key_grouping(self):
+        table = make_table(
+            {
+                "g": ["a", "a", "b", "a"],
+                "v": [1, 1, 1, 2],
+            }
+        )
+        result = collect(
+            HashAggregate(
+                TableScan(table),
+                ["g", "v"],
+                [AggregateSpec("count_star", None, "n")],
+            )
+        )
+        rows = {(row[0], row[1]): row[2] for row in result.to_pylist()}
+        assert rows == {("a", 1): 2, ("a", 2): 1, ("b", 1): 1}
+
+    def test_count_distinct_per_group(self):
+        table = make_table(
+            {
+                "g": ["a", "a", "a", "b", "b"],
+                "v": [1, 1, 2, None, 3],
+            }
+        )
+        result = collect(
+            HashAggregate(
+                TableScan(table),
+                ["g"],
+                [AggregateSpec("count_distinct", "v", "d")],
+            )
+        )
+        rows = dict(result.to_pylist())
+        assert rows == {"a": 2, "b": 1}
+
+    def test_min_max_strings(self):
+        table = make_table(
+            {"g": ["x", "x", "y"], "v": [1, 2, 3]},
+            schema=Schema([Field("g", DataType.STRING), Field("v", DataType.INT64)]),
+        )
+        result = collect(
+            HashAggregate(
+                TableScan(table),
+                ["v"],
+                [AggregateSpec("min", "g", "mn"), AggregateSpec("max", "g", "mx")],
+            )
+        )
+        assert result.row_count == 3
+
+    @given(st.lists(st.one_of(st.none(), st.integers(0, 5)), max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_grouped_count_matches_python(self, values):
+        table = make_table({"g": ["k"] * len(values), "v": values})
+        result = collect(
+            HashAggregate(
+                TableScan(table, batch_size=7),
+                ["v"],
+                [AggregateSpec("count_star", None, "n")],
+            )
+        )
+        got = dict(result.to_pylist())
+        expected: dict = {}
+        for value in values:
+            expected[value] = expected.get(value, 0) + 1
+        assert got == expected
+
+
+class TestDistinct:
+    def test_distinct_single_column_value_order(self):
+        # The single-column fast path emits value order (SQL leaves
+        # DISTINCT order unspecified).
+        table = make_table({"g": ["b", "a", "b", "c", "a"], "v": [1] * 5})
+        result = collect(Distinct(TableScan(table, columns=["g"])))
+        assert result.column("g").to_pylist() == ["a", "b", "c"]
+
+    def test_distinct_multi_column_first_occurrence_order(self):
+        table = make_table({"g": ["b", "a", "b", "a"], "v": [1, 2, 1, 2]})
+        result = collect(Distinct(TableScan(table)))
+        assert result.to_pylist() == [("b", 1), ("a", 2)]
+
+    def test_distinct_multi_column(self):
+        table = make_table({"g": ["a", "a", "a"], "v": [1, 2, 1]})
+        result = collect(Distinct(TableScan(table)))
+        assert sorted(result.to_pylist()) == [("a", 1), ("a", 2)]
+
+    def test_distinct_with_nulls(self):
+        table = make_table({"g": [None, "a", None], "v": [1, 1, 1]})
+        result = collect(Distinct(TableScan(table, columns=["g"])))
+        # Single-column path: values first, NULL last.
+        assert result.column("g").to_pylist() == ["a", None]
+
+    def test_distinct_empty(self):
+        table = make_table({"g": [], "v": []})
+        result = collect(Distinct(TableScan(table)))
+        assert result.row_count == 0
+
+    @given(st.lists(st.one_of(st.none(), st.integers(0, 10)), max_size=80))
+    @settings(max_examples=80, deadline=None)
+    def test_distinct_matches_set_semantics(self, values):
+        table = make_table({"g": ["k"] * len(values), "v": values})
+        result = collect(Distinct(TableScan(table, columns=["v"], batch_size=9)))
+        got = result.column("v").to_pylist()
+        assert len(got) == len(set(values))
+        assert set(map(str, got)) == set(map(str, set(values)))

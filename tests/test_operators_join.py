@@ -1,0 +1,276 @@
+"""Unit and property tests for HashJoin and MergeJoin."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExecutionError, PlanError
+from repro.exec.operators.hash_join import HashJoin, choose_build_side
+from repro.exec.operators.merge_join import MergeJoin
+from repro.exec.operators.scan import TableScan
+from repro.exec.operators.sort import Sort, SortKey
+from repro.exec.result import collect
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+
+def probe_table(keys, name="p"):
+    return Table.from_pydict(
+        name,
+        Schema([Field("pk", DataType.INT64), Field("ptag", DataType.INT64)]),
+        {"pk": keys, "ptag": list(range(len(keys)))},
+        partition_count=2 if len(keys) > 3 else 1,
+    )
+
+
+def build_table(keys, name="b"):
+    return Table.from_pydict(
+        name,
+        Schema([Field("bk", DataType.INT64), Field("btag", DataType.INT64)]),
+        {"bk": keys, "btag": list(range(len(keys)))},
+    )
+
+
+def reference_join(probe_keys, build_keys, left_outer=False):
+    build_map: dict = {}
+    for position, key in enumerate(build_keys):
+        if key is not None:
+            build_map.setdefault(key, []).append(position)
+    out = []
+    for position, key in enumerate(probe_keys):
+        matches = build_map.get(key, []) if key is not None else []
+        if matches:
+            for match in matches:
+                out.append((key, position, build_keys[match], match))
+        elif left_outer:
+            out.append((key, position, None, None))
+    return out
+
+
+class TestHashJoinInner:
+    def test_unique_build(self):
+        probe = probe_table([1, 2, None, 2, 9])
+        build = build_table([1, 2, 3])
+        result = collect(HashJoin(TableScan(probe), TableScan(build), "pk", "bk"))
+        rows = sorted(
+            zip(result.column("pk").to_pylist(), result.column("btag").to_pylist())
+        )
+        assert rows == [(1, 0), (2, 1), (2, 1)]
+
+    def test_duplicate_build_falls_back(self):
+        probe = probe_table([5, 6])
+        build = build_table([5, 5, 6])
+        result = collect(HashJoin(TableScan(probe), TableScan(build), "pk", "bk"))
+        assert result.row_count == 3
+
+    def test_string_keys(self):
+        schema = Schema([Field("k", DataType.STRING)])
+        probe = Table.from_pydict("p", schema, {"k": ["a", "b", "a"]})
+        build = Table.from_pydict(
+            "b",
+            Schema([Field("bk", DataType.STRING), Field("tag", DataType.INT64)]),
+            {"bk": ["a", "c"], "tag": [10, 11]},
+        )
+        result = collect(HashJoin(TableScan(probe), TableScan(build), "k", "bk"))
+        assert result.column("tag").to_pylist() == [10, 10]
+
+    def test_column_collision_rejected(self):
+        left = probe_table([1])
+        right = probe_table([1], name="p2")
+        with pytest.raises(PlanError):
+            HashJoin(TableScan(left), TableScan(right), "pk", "pk")
+
+    def test_empty_build(self):
+        probe = probe_table([1, 2])
+        build = build_table([])
+        result = collect(HashJoin(TableScan(probe), TableScan(build), "pk", "bk"))
+        assert result.row_count == 0
+
+    def test_bad_join_type(self):
+        with pytest.raises(PlanError):
+            HashJoin(
+                TableScan(probe_table([1])),
+                TableScan(build_table([1])),
+                "pk",
+                "bk",
+                join_type="full",
+            )
+
+
+class TestHashJoinLeftOuter:
+    def test_unmatched_rows_padded_with_null(self):
+        probe = probe_table([1, 4, 2])
+        build = build_table([1, 2])
+        result = collect(
+            HashJoin(
+                TableScan(probe), TableScan(build), "pk", "bk", "left_outer"
+            )
+        )
+        rows = sorted(
+            zip(result.column("pk").to_pylist(), result.column("bk").to_pylist()),
+            key=str,
+        )
+        assert rows == [(1, 1), (2, 2), (4, None)]
+
+    def test_null_probe_key_kept(self):
+        probe = probe_table([None, 1])
+        build = build_table([1])
+        result = collect(
+            HashJoin(
+                TableScan(probe), TableScan(build), "pk", "bk", "left_outer"
+            )
+        )
+        assert result.row_count == 2
+
+    def test_empty_build_all_padded(self):
+        probe = probe_table([1, 2])
+        build = build_table([])
+        result = collect(
+            HashJoin(
+                TableScan(probe), TableScan(build), "pk", "bk", "left_outer"
+            )
+        )
+        assert result.column("bk").to_pylist() == [None, None]
+
+    def test_output_schema_nullable(self):
+        probe = probe_table([1])
+        build = build_table([1])
+        join = HashJoin(
+            TableScan(probe), TableScan(build), "pk", "bk", "left_outer"
+        )
+        assert join.schema.field("bk").nullable
+
+
+class TestMergeJoin:
+    def test_sorted_inputs(self):
+        probe = probe_table([1, 2, 2, 5])
+        build = build_table([1, 2, 4, 5])
+        result = collect(
+            MergeJoin(
+                TableScan(probe), TableScan(build), "pk", "bk", check_sorted=True
+            )
+        )
+        assert result.column("pk").to_pylist() == [1, 2, 2, 5]
+
+    def test_duplicates_both_sides(self):
+        probe = probe_table([2, 2])
+        build = build_table([2, 2, 2])
+        result = collect(MergeJoin(TableScan(probe), TableScan(build), "pk", "bk"))
+        assert result.row_count == 6
+
+    def test_unsorted_right_detected(self):
+        probe = probe_table([1])
+        build = build_table([5, 1])
+        with pytest.raises(ExecutionError):
+            collect(
+                MergeJoin(
+                    TableScan(probe), TableScan(build), "pk", "bk", check_sorted=True
+                )
+            )
+
+    def test_unsorted_left_detected(self):
+        probe = probe_table([5, 1])
+        build = build_table([1, 5])
+        with pytest.raises(ExecutionError):
+            collect(
+                MergeJoin(
+                    TableScan(probe), TableScan(build), "pk", "bk", check_sorted=True
+                )
+            )
+
+    def test_null_keys_never_match(self):
+        probe = probe_table([1, None, 2])
+        build = build_table([None, 1, 2])
+        # Right side drops its NULL; left NULLs produce no match.
+        result = collect(MergeJoin(TableScan(probe), TableScan(build), "pk", "bk"))
+        assert sorted(result.column("pk").to_pylist()) == [1, 2]
+
+    def test_preserves_left_order(self):
+        probe = probe_table([1, 3, 7, 9])
+        build = build_table([1, 3, 7, 9])
+        result = collect(MergeJoin(TableScan(probe), TableScan(build), "pk", "bk"))
+        assert result.column("pk").to_pylist() == [1, 3, 7, 9]
+
+
+class TestJoinEquivalenceProperties:
+    keys = st.lists(st.one_of(st.none(), st.integers(0, 15)), max_size=40)
+
+    @given(keys, keys)
+    @settings(max_examples=80, deadline=None)
+    def test_hash_join_matches_reference(self, probe_keys, build_keys):
+        probe = probe_table(probe_keys)
+        build = build_table(build_keys)
+        result = collect(
+            HashJoin(TableScan(probe, batch_size=7), TableScan(build), "pk", "bk")
+        )
+        got = sorted(
+            zip(result.column("ptag").to_pylist(), result.column("btag").to_pylist())
+        )
+        expected = sorted(
+            (p, b) for __, p, __, b in reference_join(probe_keys, build_keys)
+        )
+        assert got == expected
+
+    @given(keys, keys)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_join_matches_hash_join(self, probe_keys, build_keys):
+        probe = probe_table(probe_keys)
+        build = build_table(build_keys)
+        merge = collect(
+            MergeJoin(
+                Sort(TableScan(probe), [SortKey("pk")]),
+                Sort(TableScan(build), [SortKey("bk")]),
+                "pk",
+                "bk",
+            )
+        )
+        hash_result = collect(
+            HashJoin(TableScan(probe), TableScan(build), "pk", "bk")
+        )
+        got = sorted(
+            zip(merge.column("ptag").to_pylist(), merge.column("btag").to_pylist())
+        )
+        expected = sorted(
+            zip(
+                hash_result.column("ptag").to_pylist(),
+                hash_result.column("btag").to_pylist(),
+            )
+        )
+        assert got == expected
+
+    @given(keys, keys)
+    @settings(max_examples=60, deadline=None)
+    def test_left_outer_matches_reference(self, probe_keys, build_keys):
+        probe = probe_table(probe_keys)
+        build = build_table(build_keys)
+        result = collect(
+            HashJoin(
+                TableScan(probe, batch_size=5),
+                TableScan(build),
+                "pk",
+                "bk",
+                "left_outer",
+            )
+        )
+        got = sorted(
+            zip(result.column("ptag").to_pylist(), result.column("btag").to_pylist()),
+            key=str,
+        )
+        expected = sorted(
+            (
+                (p, b)
+                for __, p, __, b in reference_join(
+                    probe_keys, build_keys, left_outer=True
+                )
+            ),
+            key=str,
+        )
+        assert got == expected
+
+
+class TestChooseBuildSide:
+    def test_smaller_side_wins(self):
+        assert choose_build_side(10, 100)[0] == "left"
+        assert choose_build_side(100, 10)[0] == "right"
+        assert choose_build_side(5, 5)[0] == "left"

@@ -1,0 +1,128 @@
+"""Unit tests for TableScan: batching, ranges, tid, partition boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.exec.operators.scan import TID_COLUMN, TableScan
+from repro.exec.result import collect
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+
+def make_table(n=20, partition_count=3, block_size=4):
+    return Table.from_pydict(
+        "t",
+        Schema([Field("x", DataType.INT64)]),
+        {"x": list(range(n))},
+        partition_count=partition_count,
+        block_size=block_size,
+    )
+
+
+class TestBasicScan:
+    def test_full_scan_in_order(self):
+        table = make_table()
+        result = collect(TableScan(table, batch_size=4))
+        assert result.column("x").to_pylist() == list(range(20))
+
+    def test_batches_never_cross_partitions(self):
+        table = make_table(n=10, partition_count=3)
+        scan = TableScan(table, batch_size=100)
+        scan.open()
+        batch_ranges = []
+        while True:
+            batch = scan.next_batch()
+            if batch is None:
+                break
+            batch_ranges.append(batch.contiguous_range)
+        scan.close()
+        partition_ranges = [p.rowid_range for p in table.partitions]
+        for batch_range in batch_ranges:
+            assert any(
+                p_start <= batch_range[0] and batch_range[1] <= p_stop
+                for p_start, p_stop in partition_ranges
+            )
+
+    def test_rowids_are_contiguous_tuple_ids(self):
+        table = make_table()
+        scan = TableScan(table, batch_size=6)
+        scan.open()
+        seen = []
+        while True:
+            batch = scan.next_batch()
+            if batch is None:
+                break
+            assert batch.contiguous_range is not None
+            seen.extend(batch.rowids.tolist())
+        assert seen == list(range(20))
+
+    def test_projection(self):
+        table = Table.from_pydict(
+            "t",
+            Schema([Field("a", DataType.INT64), Field("b", DataType.INT64)]),
+            {"a": [1, 2], "b": [3, 4]},
+        )
+        result = collect(TableScan(table, columns=["b"]))
+        assert result.column_names == ("b",)
+
+    def test_scan_before_open_raises(self):
+        scan = TableScan(make_table())
+        with pytest.raises(PlanError):
+            scan.next_batch()
+
+
+class TestTid:
+    def test_tid_column(self):
+        table = make_table(n=5, partition_count=2)
+        result = collect(TableScan(table, with_tid=True))
+        assert result.column(TID_COLUMN).to_pylist() == [0, 1, 2, 3, 4]
+
+    def test_tid_collision_rejected(self):
+        table = Table.from_pydict(
+            "t", Schema([Field("tid", DataType.INT64)]), {"tid": [1]}
+        )
+        with pytest.raises(PlanError):
+            TableScan(table, with_tid=True)
+
+
+class TestScanRanges:
+    def test_ranges_restrict_rows(self):
+        table = make_table()
+        result = collect(TableScan(table, scan_ranges=[(2, 5), (10, 12)]))
+        assert result.column("x").to_pylist() == [2, 3, 4, 10, 11]
+
+    def test_ranges_normalized(self):
+        table = make_table()
+        scan = TableScan(
+            table, scan_ranges=[(10, 12), (2, 5), (4, 7), (-5, 1), (18, 99)]
+        )
+        # sorted, merged, clipped
+        assert scan.scan_ranges == [(0, 1), (2, 7), (10, 12), (18, 20)]
+
+    def test_empty_ranges(self):
+        table = make_table()
+        result = collect(TableScan(table, scan_ranges=[]))
+        assert result.row_count == 0
+
+    def test_range_crossing_partition_boundary(self):
+        table = make_table(n=20, partition_count=2)  # boundary at 10
+        result = collect(TableScan(table, scan_ranges=[(8, 13)]))
+        assert result.column("x").to_pylist() == [8, 9, 10, 11, 12]
+
+    def test_ranges_with_tid(self):
+        table = make_table()
+        result = collect(
+            TableScan(table, scan_ranges=[(5, 7)], with_tid=True)
+        )
+        assert result.column(TID_COLUMN).to_pylist() == [5, 6]
+
+
+class TestRescan:
+    def test_operator_is_reexecutable(self):
+        table = make_table(n=6)
+        scan = TableScan(table)
+        first = collect(scan)
+        second = collect(scan)
+        assert first.column("x").to_pylist() == second.column("x").to_pylist()

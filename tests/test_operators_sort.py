@@ -1,0 +1,160 @@
+"""Unit and property tests for Sort and MergeUnion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.operators.merge_union import MergeUnion, merge_permutation
+from repro.exec.operators.scan import TableScan
+from repro.exec.operators.sort import Sort, SortKey, sort_order
+from repro.exec.result import collect
+from repro.storage.column import ColumnVector
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+
+def int_table(values, name="t", partition_count=1):
+    return Table.from_pydict(
+        name,
+        Schema([Field("v", DataType.INT64), Field("tag", DataType.INT64)]),
+        {"v": values, "tag": list(range(len(values)))},
+        partition_count=partition_count,
+    )
+
+
+class TestSort:
+    def test_ascending_with_nulls_last(self):
+        table = int_table([3, None, 1, 2])
+        result = collect(Sort(TableScan(table), [SortKey("v")]))
+        assert result.column("v").to_pylist() == [1, 2, 3, None]
+
+    def test_descending_nulls_first(self):
+        table = int_table([3, None, 1, 2])
+        result = collect(Sort(TableScan(table), [SortKey("v", ascending=False)]))
+        assert result.column("v").to_pylist() == [None, 3, 2, 1]
+
+    def test_stability_on_ties(self):
+        table = int_table([2, 1, 2, 1])
+        result = collect(Sort(TableScan(table), [SortKey("v")]))
+        # Equal keys keep input order (tags 1, 3 then 0, 2).
+        assert result.column("tag").to_pylist() == [1, 3, 0, 2]
+
+    def test_descending_stability(self):
+        table = int_table([2, 1, 2, 1])
+        result = collect(
+            Sort(TableScan(table), [SortKey("v", ascending=False)])
+        )
+        assert result.column("tag").to_pylist() == [0, 2, 1, 3]
+
+    def test_multi_key(self):
+        table = Table.from_pydict(
+            "t",
+            Schema([Field("a", DataType.INT64), Field("b", DataType.INT64)]),
+            {"a": [1, 2, 1, 2], "b": [9, 8, 7, 6]},
+        )
+        result = collect(
+            Sort(TableScan(table), [SortKey("a"), SortKey("b", ascending=False)])
+        )
+        assert result.to_pylist() == [(1, 9), (1, 7), (2, 8), (2, 6)]
+
+    def test_strings(self):
+        table = Table.from_pydict(
+            "t",
+            Schema([Field("s", DataType.STRING)]),
+            {"s": ["b", None, "a"]},
+        )
+        result = collect(Sort(TableScan(table), [SortKey("s")]))
+        assert result.column("s").to_pylist() == ["a", "b", None]
+
+    def test_empty(self):
+        table = int_table([])
+        result = collect(Sort(TableScan(table), [SortKey("v")]))
+        assert result.row_count == 0
+
+    @given(st.lists(st.one_of(st.none(), st.integers(-100, 100)), max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_python_sorted(self, values):
+        table = int_table(values, partition_count=1)
+        result = collect(Sort(TableScan(table, batch_size=9), [SortKey("v")]))
+        got = result.column("v").to_pylist()
+        non_null = sorted(v for v in values if v is not None)
+        nulls = [None] * values.count(None)
+        assert got == non_null + nulls
+
+
+class TestMergePermutation:
+    def test_basic_interleave(self):
+        left = np.array([1.0, 3.0, 5.0])
+        right = np.array([2.0, 3.0])
+        left_pos, right_pos = merge_permutation(left, right)
+        merged = np.empty(5)
+        merged[left_pos] = left
+        merged[right_pos] = right
+        assert merged.tolist() == [1.0, 2.0, 3.0, 3.0, 5.0]
+
+    def test_left_wins_ties(self):
+        left = np.array([2.0])
+        right = np.array([2.0])
+        left_pos, right_pos = merge_permutation(left, right)
+        assert left_pos.tolist() == [0]
+        assert right_pos.tolist() == [1]
+
+    def test_empty_sides(self):
+        left_pos, right_pos = merge_permutation(np.array([]), np.array([1.0]))
+        assert left_pos.tolist() == []
+        assert right_pos.tolist() == [0]
+
+
+class TestMergeUnion:
+    def run_merge(self, left_values, right_values, ascending=True):
+        left = int_table(left_values, name="l")
+        right = int_table(right_values, name="r")
+        key = [SortKey("v", ascending)]
+        return collect(
+            MergeUnion(
+                Sort(TableScan(left), key),
+                Sort(TableScan(right), key),
+                key,
+            )
+        ).column("v").to_pylist()
+
+    def test_merges_sorted_streams(self):
+        assert self.run_merge([1, 5, 9], [2, 5, 10]) == [1, 2, 5, 5, 9, 10]
+
+    def test_descending(self):
+        assert self.run_merge([9, 5, 1], [10, 2], ascending=False) == [
+            10,
+            9,
+            5,
+            2,
+            1,
+        ]
+
+    def test_one_side_empty(self):
+        assert self.run_merge([], [3, 1]) == [1, 3]
+        assert self.run_merge([3, 1], []) == [1, 3]
+        assert self.run_merge([], []) == []
+
+    def test_nulls_sort_last(self):
+        got = self.run_merge([1, None], [2])
+        assert got == [1, 2, None]
+
+    @given(
+        st.lists(st.integers(-50, 50), max_size=60),
+        st.lists(st.integers(-50, 50), max_size=60),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_sorted_concat(self, left_values, right_values):
+        got = self.run_merge(left_values, right_values)
+        assert got == sorted(left_values + right_values)
+
+    def test_multi_key_object_path(self):
+        schema = Schema([Field("s", DataType.STRING), Field("v", DataType.INT64)])
+        left = Table.from_pydict("l", schema, {"s": ["a", "c"], "v": [1, 2]})
+        right = Table.from_pydict("r", schema, {"s": ["b"], "v": [3]})
+        keys = [SortKey("s"), SortKey("v")]
+        result = collect(
+            MergeUnion(TableScan(left), TableScan(right), keys)
+        )
+        assert result.column("s").to_pylist() == ["a", "b", "c"]

@@ -1,0 +1,110 @@
+"""Direct tests for the Partition storage unit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.column import ColumnVector
+from repro.storage.partition import Partition
+from repro.storage.schema import Field, Schema
+from repro.types import DataType
+
+
+def make_partition(values, base_rowid=0, block_size=4):
+    schema = Schema([Field("x", DataType.INT64)])
+    return Partition(
+        0,
+        schema,
+        {"x": ColumnVector.from_pylist(DataType.INT64, values)},
+        base_rowid=base_rowid,
+        block_size=block_size,
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        partition = make_partition([1, 2, 3], base_rowid=10)
+        assert partition.row_count == 3
+        assert partition.rowid_range == (10, 13)
+        assert partition.rowids().tolist() == [10, 11, 12]
+
+    def test_missing_column(self):
+        schema = Schema([Field("x", DataType.INT64)])
+        with pytest.raises(SchemaError):
+            Partition(0, schema, {}, base_rowid=0)
+
+    def test_type_mismatch(self):
+        schema = Schema([Field("x", DataType.INT64)])
+        with pytest.raises(SchemaError):
+            Partition(
+                0,
+                schema,
+                {"x": ColumnVector.from_pylist(DataType.STRING, ["a"])},
+                base_rowid=0,
+            )
+
+    def test_unknown_column_lookup(self):
+        partition = make_partition([1])
+        with pytest.raises(SchemaError):
+            partition.column("nope")
+
+
+class TestBlockStats:
+    def test_cached_and_invalidated_on_append(self):
+        partition = make_partition([1, 2, 3, 4, 100, 200])
+        first = partition.block_stats("x")
+        assert first is partition.block_stats("x")  # cached
+        assert first[0].maximum == 4
+        partition.append({"x": ColumnVector.from_pylist(DataType.INT64, [7])})
+        second = partition.block_stats("x")
+        assert second is not first
+
+    def test_scan_ranges_for_predicate(self):
+        partition = make_partition(list(range(16)), block_size=4)
+        assert partition.scan_ranges_for_predicate("x", ">=", 12) == [(12, 16)]
+        assert partition.scan_ranges_for_predicate("x", "<", 4) == [(0, 4)]
+        assert partition.scan_ranges_for_predicate("x", ">", 100) == []
+
+
+class TestMutation:
+    def test_append_length_mismatch(self):
+        schema = Schema(
+            [Field("x", DataType.INT64), Field("y", DataType.INT64)]
+        )
+        partition = Partition(
+            0,
+            schema,
+            {
+                "x": ColumnVector.from_pylist(DataType.INT64, [1]),
+                "y": ColumnVector.from_pylist(DataType.INT64, [2]),
+            },
+            base_rowid=0,
+        )
+        with pytest.raises(StorageError):
+            partition.append(
+                {
+                    "x": ColumnVector.from_pylist(DataType.INT64, [1]),
+                    "y": ColumnVector.from_pylist(DataType.INT64, [1, 2]),
+                }
+            )
+
+    def test_append_empty_noop(self):
+        partition = make_partition([1])
+        partition.append({"x": ColumnVector.empty(DataType.INT64)})
+        assert partition.row_count == 1
+
+    def test_replace_rows(self):
+        partition = make_partition([1, 2, 3, 4])
+        partition.replace_rows(np.array([True, False, True, False]))
+        assert partition.column("x").to_pylist() == [1, 3]
+        assert partition.row_count == 2
+
+    def test_replace_rows_bad_mask(self):
+        partition = make_partition([1, 2])
+        with pytest.raises(StorageError):
+            partition.replace_rows(np.array([True]))
+
+    def test_project(self):
+        partition = make_partition([1, 2])
+        projected = partition.project(["x"])
+        assert list(projected) == ["x"]

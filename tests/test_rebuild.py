@@ -1,0 +1,72 @@
+"""Tests for drift tracking and index rebuilds (self-management upkeep)."""
+
+import pytest
+
+from repro import Database
+from repro.core.advisor import ConstraintAdvisor
+from repro.core.patch_index import PatchIndex
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+
+def make_table(values):
+    return Table.from_pydict(
+        "t", Schema([Field("c", DataType.INT64)]), {"c": values}
+    )
+
+
+class TestDrift:
+    def test_no_mutations_no_drift(self):
+        table = make_table([1, 2, 3])
+        index = PatchIndex.create("pi", table, "c", "unique")
+        assert index.maintenance_stats() is None
+        assert index.drift_rate() == 0.0
+
+    def test_drift_counts_added_patches(self):
+        table = make_table(list(range(100)))
+        index = PatchIndex.create("pi", table, "c", "unique")
+        for value in range(10):
+            table.insert_rows([[value]])  # each demotes a kept row
+        assert index.maintenance_stats() is not None
+        assert index.drift_rate() > 0.1
+
+    def test_rebuild_restores_minimality(self):
+        table = make_table(list(range(50)))
+        index = PatchIndex.create("pi", table, "c", "sorted")
+        # Updates conservatively demote rows even when the result stays
+        # sorted-compatible.
+        table.update_rowid(10, "c", 10)  # same value: still a patch now
+        assert index.patch_count == 1
+        index.rebuild()
+        assert index.patch_count == 0
+
+    def test_rebuild_resets_design_choice(self):
+        table = make_table(list(range(200)))
+        index = PatchIndex.create("pi", table, "c", "unique")
+        assert index.design == "identifier"  # zero patches
+        # Make most rows duplicates via appends.
+        table.insert_rows([[1]] * 150)
+        index.rebuild()
+        assert index.design == "bitmap"
+        assert index.exception_rate > 0.4
+
+
+class TestAdvisorUpkeep:
+    def test_recommend_and_rebuild(self):
+        db = Database()
+        db.sql("CREATE TABLE t (c BIGINT)")
+        rows = ", ".join(f"({i})" for i in range(100))
+        db.sql(f"INSERT INTO t VALUES {rows}")
+        db.sql("CREATE PATCHINDEX pi ON t(c) TYPE SORTED")
+        advisor = ConstraintAdvisor(db)
+        assert advisor.recommend_rebuilds() == []
+        # Ten conservative same-value updates: drift without real
+        # disorder.
+        for rowid in range(10):
+            db.table("t").update_rowid(rowid, "c", rowid)
+        assert advisor.recommend_rebuilds(max_drift=0.05) == ["pi"]
+        rebuilt = advisor.rebuild_drifted(max_drift=0.05)
+        assert rebuilt == ["pi"]
+        assert db.catalog.index("pi").patch_count == 0
+        assert advisor.recommend_rebuilds(max_drift=0.05) == []

@@ -1,0 +1,69 @@
+"""Tests for the interactive shell (python -m repro)."""
+
+import io
+
+from repro.__main__ import run_shell
+from repro.storage.database import Database
+
+
+def drive(lines):
+    database = Database()
+    output = io.StringIO()
+    code = run_shell(database, input_stream=iter(lines), output=output)
+    return code, output.getvalue(), database
+
+
+class TestShell:
+    def test_ddl_query_cycle(self):
+        code, text, db = drive(
+            [
+                "CREATE TABLE t (c BIGINT);",
+                "INSERT INTO t VALUES (1), (2), (2);",
+                "CREATE PATCHINDEX pi ON t(c) TYPE UNIQUE;",
+                "SELECT COUNT(DISTINCT c) AS n FROM t;",
+                "\\q",
+            ]
+        )
+        assert code == 0
+        assert "2" in text  # the count
+        assert db.catalog.has_index("pi")
+
+    def test_multiline_statement(self):
+        code, text, __ = drive(
+            [
+                "CREATE TABLE t (c BIGINT);",
+                "SELECT c",
+                "FROM t;",
+            ]
+        )
+        assert code == 0
+        assert "c" in text
+
+    def test_describe_command(self):
+        code, text, __ = drive(
+            [
+                "CREATE TABLE t (c BIGINT);",
+                "\\d",
+            ]
+        )
+        assert "table t" in text
+
+    def test_error_does_not_kill_shell(self):
+        code, text, __ = drive(
+            [
+                "SELECT * FROM missing;",
+                "CREATE TABLE t (c BIGINT);",
+                "\\d",
+            ]
+        )
+        assert code == 0
+        assert "error:" in text
+        assert "table t" in text
+
+    def test_eof_exits(self):
+        code, __, __ = drive([])
+        assert code == 0
+
+    def test_blank_lines_ignored(self):
+        code, __, __ = drive(["", "   ", "\\q"])
+        assert code == 0

@@ -1,0 +1,193 @@
+"""Unit tests for the SQL parser."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+class TestSelect:
+    def test_simple(self):
+        statement = parse_statement("SELECT a, b FROM t")
+        assert isinstance(statement, ast.SqlSelect)
+        assert [item.expression.name for item in statement.items] == ["a", "b"]
+        assert statement.from_table.name == "t"
+
+    def test_star(self):
+        statement = parse_statement("SELECT * FROM t")
+        assert statement.items == ()
+
+    def test_star_without_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT *")
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_aliases(self):
+        statement = parse_statement("SELECT a AS x, b y FROM t AS u")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+        assert statement.from_table.alias == "u"
+
+    def test_where_precedence(self):
+        statement = parse_statement(
+            "SELECT a FROM t WHERE a > 1 AND b < 2 OR NOT c = 3"
+        )
+        where = statement.where
+        assert isinstance(where, ast.SqlBinary) and where.op == "or"
+        assert isinstance(where.left, ast.SqlBinary) and where.left.op == "and"
+        assert isinstance(where.right, ast.SqlNot)
+
+    def test_is_null(self):
+        statement = parse_statement("SELECT a FROM t WHERE a IS NOT NULL")
+        assert isinstance(statement.where, ast.SqlIsNull)
+        assert statement.where.negated
+
+    def test_arithmetic_precedence(self):
+        statement = parse_statement("SELECT a + b * 2 FROM t")
+        expression = statement.items[0].expression
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+    def test_unary_minus(self):
+        statement = parse_statement("SELECT a FROM t WHERE a > -5")
+        assert statement.where.right.value == -5
+
+    def test_group_by_having(self):
+        statement = parse_statement(
+            "SELECT g, COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 1"
+        )
+        assert [column.name for column in statement.group_by] == ["g"]
+        assert isinstance(statement.having, ast.SqlBinary)
+
+    def test_order_limit_offset(self):
+        statement = parse_statement(
+            "SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5"
+        )
+        assert statement.order_by[0].ascending is False
+        assert statement.order_by[1].ascending is True
+        assert statement.limit == 10
+        assert statement.offset == 5
+
+    def test_aggregates(self):
+        statement = parse_statement(
+            "SELECT COUNT(*), COUNT(DISTINCT a), SUM(b), MIN(c), MAX(d), AVG(e) FROM t"
+        )
+        aggs = [item.expression for item in statement.items]
+        assert aggs[0].argument is None
+        assert aggs[1].distinct and aggs[1].argument.name == "a"
+        assert [agg.func for agg in aggs] == [
+            "count",
+            "count",
+            "sum",
+            "min",
+            "max",
+            "avg",
+        ]
+
+    def test_joins(self):
+        statement = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.y LEFT OUTER JOIN c ON b.y = c.z"
+        )
+        assert [join.kind for join in statement.joins] == ["inner", "left_outer"]
+        assert statement.joins[0].on_left.qualifier == "a"
+
+    def test_inner_join_keyword(self):
+        statement = parse_statement("SELECT * FROM a INNER JOIN b ON a.x = b.y")
+        assert statement.joins[0].kind == "inner"
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT * FROM a JOIN b ON a.x < b.y")
+
+    def test_derived_table(self):
+        statement = parse_statement(
+            "SELECT * FROM (SELECT a FROM t GROUP BY a) AS sub"
+        )
+        assert isinstance(statement.from_table, ast.SqlDerivedTable)
+        assert statement.from_table.alias == "sub"
+
+    def test_literals(self):
+        statement = parse_statement(
+            "SELECT a FROM t WHERE a = 1 OR a = 1.5 OR b = 'x' OR c = TRUE "
+            "OR d = DATE '2020-01-02' OR e IS NULL"
+        )
+        assert statement.where is not None
+
+    def test_date_literal(self):
+        statement = parse_statement("SELECT a FROM t WHERE d > DATE '2020-06-01'")
+        assert statement.where.right.value == dt.date(2020, 6, 1)
+
+    def test_bad_date_literal(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM t WHERE d > DATE 'not-a-date'")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM t garbage !")
+
+    def test_trailing_semicolon_ok(self):
+        parse_statement("SELECT a FROM t;")
+
+
+class TestDdl:
+    def test_create_table(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a BIGINT NOT NULL, b VARCHAR(10), c DATE) PARTITIONS 4"
+        )
+        assert isinstance(statement, ast.SqlCreateTable)
+        assert statement.partitions == 4
+        assert statement.columns[0].nullable is False
+        assert statement.columns[1].type_name == "varchar"
+
+    def test_create_patchindex_full(self):
+        statement = parse_statement(
+            "CREATE PATCHINDEX pi ON t(c) TYPE SORTED MODE BITMAP THRESHOLD 0.05"
+        )
+        assert isinstance(statement, ast.SqlCreatePatchIndex)
+        assert statement.kind == "sorted"
+        assert statement.mode == "bitmap"
+        assert statement.threshold == 0.05
+
+    def test_create_patchindex_defaults(self):
+        statement = parse_statement("CREATE PATCHINDEX pi ON t(c) TYPE UNIQUE")
+        assert statement.mode == "auto"
+        assert statement.threshold == 1.0
+
+    def test_drop_statements(self):
+        assert isinstance(parse_statement("DROP TABLE t"), ast.SqlDropTable)
+        assert isinstance(
+            parse_statement("DROP PATCHINDEX pi"), ast.SqlDropPatchIndex
+        )
+
+    def test_insert(self):
+        statement = parse_statement(
+            "INSERT INTO t VALUES (1, 'a', NULL), (2, 'b', 3.5)"
+        )
+        assert isinstance(statement, ast.SqlInsert)
+        assert statement.rows == ((1, "a", None), (2, "b", 3.5))
+
+    def test_insert_with_columns(self):
+        statement = parse_statement("INSERT INTO t (b, a) VALUES ('x', 1)")
+        assert statement.columns == ("b", "a")
+
+    def test_insert_non_literal_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("INSERT INTO t VALUES (a + 1)")
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, ast.SqlDelete)
+        assert statement.where is not None
+
+    def test_explain(self):
+        statement = parse_statement("EXPLAIN SELECT a FROM t")
+        assert isinstance(statement, ast.SqlExplain)
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("VACUUM t")

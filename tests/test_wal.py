@@ -1,0 +1,150 @@
+"""Unit tests for the write-ahead log."""
+
+import pytest
+
+from repro.errors import WalError
+from repro.storage.wal import WalRecord, WriteAheadLog
+
+
+class TestInMemory:
+    def test_append_and_read(self):
+        wal = WriteAheadLog()
+        wal.append("create_table", {"name": "t"})
+        wal.append("create_index", {"name": "i", "table": "t"})
+        records = wal.records()
+        assert [record.kind for record in records] == [
+            "create_table",
+            "create_index",
+        ]
+        assert records[0].lsn == 1
+        assert records[1].lsn == 2
+
+    def test_unknown_kind_rejected(self):
+        wal = WriteAheadLog()
+        with pytest.raises(WalError):
+            wal.append("compact", {})
+
+    def test_checkpoint(self):
+        wal = WriteAheadLog()
+        record = wal.checkpoint()
+        assert record.kind == "checkpoint"
+
+    def test_truncate(self):
+        wal = WriteAheadLog()
+        wal.append("create_table", {"name": "t"})
+        wal.truncate()
+        assert len(wal) == 0
+
+
+class TestLiveRecords:
+    def test_drop_cancels_create(self):
+        wal = WriteAheadLog()
+        wal.append("create_table", {"name": "t"})
+        wal.append("drop_table", {"name": "t"})
+        assert wal.live_records() == []
+
+    def test_recreate_after_drop_survives(self):
+        wal = WriteAheadLog()
+        wal.append("create_table", {"name": "t"})
+        wal.append("drop_table", {"name": "t"})
+        wal.append("create_table", {"name": "t"})
+        live = wal.live_records()
+        assert len(live) == 1
+        assert live[0].lsn == 3
+
+    def test_drop_table_cancels_its_indexes(self):
+        wal = WriteAheadLog()
+        wal.append("create_table", {"name": "t"})
+        wal.append("create_index", {"name": "i", "table": "t"})
+        wal.append("drop_table", {"name": "t"})
+        assert wal.live_records() == []
+
+    def test_drop_index_only(self):
+        wal = WriteAheadLog()
+        wal.append("create_table", {"name": "t"})
+        wal.append("create_index", {"name": "i", "table": "t"})
+        wal.append("drop_index", {"name": "i"})
+        live = wal.live_records()
+        assert [record.kind for record in live] == ["create_table"]
+
+    def test_alternating_create_drop(self):
+        wal = WriteAheadLog()
+        for __ in range(2):
+            wal.append("create_table", {"name": "t"})
+            wal.append("drop_table", {"name": "t"})
+        wal.append("create_table", {"name": "t"})
+        assert len(wal.live_records()) == 1
+
+
+class TestFileBacked:
+    def test_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path, sync=False)
+        wal.append("create_table", {"name": "t", "schema": []})
+        wal.append("create_index", {"name": "i", "table": "t"})
+        reloaded = WriteAheadLog(path)
+        assert [record.kind for record in reloaded.records()] == [
+            "create_table",
+            "create_index",
+        ]
+        # New appends continue the LSN sequence.
+        record = reloaded.append("drop_index", {"name": "i"})
+        assert record.lsn == 3
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(
+            '{"lsn": 1, "kind": "create_table", "payload": {"name": "t"}}\n'
+            "not json\n"
+        )
+        with pytest.raises(WalError):
+            WriteAheadLog(path)
+
+    def test_non_monotonic_lsn_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(
+            '{"lsn": 2, "kind": "create_table", "payload": {"name": "a"}}\n'
+            '{"lsn": 1, "kind": "create_table", "payload": {"name": "b"}}\n'
+        )
+        with pytest.raises(WalError):
+            WriteAheadLog(path)
+
+    def test_payload_keys_cannot_collide_with_envelope(self, tmp_path):
+        # An index's own "kind" (unique/sorted) must survive a
+        # serialization roundtrip intact.
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path, sync=False)
+        wal.append(
+            "create_index",
+            {"name": "i", "table": "t", "column": "c", "kind": "unique"},
+        )
+        reloaded = WriteAheadLog(path)
+        record = reloaded.records()[0]
+        assert record.kind == "create_index"
+        assert record.payload["kind"] == "unique"
+
+    def test_truncate_removes_file(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path, sync=False)
+        wal.append("create_table", {"name": "t"})
+        wal.truncate()
+        assert not path.exists()
+
+
+class TestWalRecord:
+    def test_json_roundtrip(self):
+        record = WalRecord(7, "create_index", {"name": "i", "table": "t"})
+        parsed = WalRecord.from_json(record.to_json())
+        assert parsed == record
+
+    def test_malformed_json(self):
+        with pytest.raises(WalError):
+            WalRecord.from_json("[1, 2]")
+
+    def test_malformed_payload(self):
+        with pytest.raises(WalError):
+            WalRecord.from_json('{"lsn": 1, "kind": "checkpoint", "payload": 3}')
+
+    def test_unknown_kind(self):
+        with pytest.raises(WalError):
+            WalRecord.from_json('{"lsn": 1, "kind": "vacuum"}')
