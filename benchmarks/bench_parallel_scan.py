@@ -1,0 +1,136 @@
+"""Serial vs morsel-parallel speedup on a distinct-over-NUC query.
+
+Measures the acceptance scenario of the parallel executor: a
+``COUNT(DISTINCT c)`` over a nearly-unique 10M-row column carrying a
+NUC PatchIndex, so the plan composes the paper's distinct rewrite
+(§VI-B1: exclude-patches branch + distinct over the patches) with the
+morsel-driven Exchange.  Results are asserted byte-identical between
+the serial and parallel plans — including the use_patches /
+exclude_patches branches and a scan-range-pruned variant — and the
+speedup is recorded to ``BENCH_parallel.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_parallel_scan.py
+
+Knobs: ``REPRO_BENCH_PARALLEL_ROWS`` (default 10_000_000),
+``REPRO_THREADS`` (parallel worker count, default: CPU count).
+Meaningful speedup needs a multi-core machine; on one core the cost
+model (correctly) refuses to parallelize, which the script reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import measure
+from repro.exec.parallel import default_parallelism, shutdown_pool
+from repro.storage.column import ColumnVector
+from repro.storage.database import Database
+from repro.storage.schema import Field, Schema
+from repro.types import DataType
+
+ROWS = int(os.environ.get("REPRO_BENCH_PARALLEL_ROWS", 10_000_000))
+EXCEPTION_RATE = 0.001  # nearly unique: NUC with 0.1 % patches
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+QUERIES = [
+    # The headline query the speedup is measured on.
+    "SELECT COUNT(DISTINCT c) AS n FROM t",
+    # Equivalence-only variants: full DISTINCT output (exercises the
+    # ordered gather), and a block-pruned range restriction.
+    "SELECT DISTINCT c FROM t",
+    f"SELECT DISTINCT c FROM t WHERE c < {ROWS // 4}",
+    "SELECT MIN(c) AS lo, MAX(c) AS hi, COUNT(*) AS n FROM t",
+]
+
+
+def build_database(rows: int) -> Database:
+    rng = np.random.default_rng(20)
+    values = rng.permutation(rows).astype(np.int64)
+    duplicates = max(1, int(rows * EXCEPTION_RATE))
+    # Overwrite a random sample with repeated values -> NUC patches.
+    positions = rng.choice(rows, duplicates, replace=False)
+    values[positions] = values[rng.integers(0, rows, duplicates)]
+    database = Database()
+    table = database.create_table(
+        "t", Schema([Field("c", DataType.INT64)]), partition_count=8
+    )
+    table.load_columns({"c": ColumnVector(DataType.INT64, values)})
+    database.create_patch_index("pi", "t", "c", kind="unique")
+    return database
+
+
+def results_identical(left, right) -> bool:
+    """Byte-identical comparison without materializing Python rows."""
+    if left.schema != right.schema or left.row_count != right.row_count:
+        return False
+    for field in left.schema:
+        a = left.columns[field.name]
+        b = right.columns[field.name]
+        if not np.array_equal(a.values, b.values):
+            return False
+        a_validity = a.validity_or_all_true()
+        b_validity = b.validity_or_all_true()
+        if not np.array_equal(a_validity, b_validity):
+            return False
+    return True
+
+
+def main() -> int:
+    threads = default_parallelism()
+    print(f"rows={ROWS}  threads={threads}  cpus={os.cpu_count()}")
+    database = build_database(ROWS)
+
+    failures = []
+    for query in QUERIES:
+        serial = database.sql(query, parallelism=1)
+        parallel = database.sql(query, parallelism=max(2, threads))
+        if not results_identical(serial, parallel):
+            failures.append(query)
+            print(f"MISMATCH: {query}")
+        else:
+            print(f"identical: {query}")
+
+    headline = QUERIES[0]
+    plan = database.explain(headline, parallelism=threads)
+    parallel_planned = "dop=" in plan
+    serial_run = measure(lambda: database.sql(headline, parallelism=1))
+    parallel_run = measure(lambda: database.sql(headline, parallelism=threads))
+    speedup = serial_run.seconds / parallel_run.seconds
+    print(plan)
+    print(
+        f"serial   {serial_run.seconds * 1e3:9.1f} ms\n"
+        f"parallel {parallel_run.seconds * 1e3:9.1f} ms  "
+        f"({speedup:.2f}x, dop={threads})"
+    )
+    if not parallel_planned:
+        print(
+            "note: cost model kept the plan serial "
+            "(single core or input below breakeven)"
+        )
+
+    payload = {
+        "rows": ROWS,
+        "threads": threads,
+        "cpu_count": os.cpu_count(),
+        "exception_rate": EXCEPTION_RATE,
+        "query": headline,
+        "serial_s": serial_run.seconds,
+        "parallel_s": parallel_run.seconds,
+        "speedup": speedup,
+        "parallel_planned": parallel_planned,
+        "identical_results": not failures,
+        "queries_checked": len(QUERIES),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    shutdown_pool()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-r"""Interactive SQL shell:  ``python -m repro [wal-path]``.
+r"""Interactive SQL shell:  ``python -m repro [--threads N] [wal-path]``.
 
 A minimal REPL over :class:`repro.storage.database.Database` — enough
 to poke at PatchIndexes interactively:
@@ -9,10 +9,13 @@ to poke at PatchIndexes interactively:
     repro> CREATE PATCHINDEX pi ON t(c) TYPE UNIQUE;
     repro> SELECT COUNT(DISTINCT c) AS n FROM t;
     repro> \d            -- describe tables and indexes
+    repro> \threads 4    -- set the degree of parallelism (\threads shows it)
     repro> EXPLAIN SELECT DISTINCT c FROM t;
     repro> \q
 
 Statements may span lines; they execute at the terminating semicolon.
+``--threads N`` (or the ``REPRO_THREADS`` environment variable) sets
+the morsel-parallel worker count; ``--threads 1`` forces serial plans.
 """
 
 from __future__ import annotations
@@ -20,11 +23,13 @@ from __future__ import annotations
 import sys
 
 from repro.errors import ReproError
+from repro.exec.parallel import default_parallelism
 from repro.storage.database import Database
 
 _BANNER = (
     "repro — PatchIndex reproduction shell. "
-    "End statements with ';'.  \\d describes, \\q quits."
+    "End statements with ';'.  \\d describes, \\threads sets "
+    "parallelism, \\q quits."
 )
 
 
@@ -61,6 +66,22 @@ def run_shell(
         if not buffer and stripped == "\\d":
             emit(database.describe() or "(empty catalog)")
             continue
+        if not buffer and stripped.startswith("\\threads"):
+            argument = stripped[len("\\threads"):].strip()
+            if not argument:
+                effective = (
+                    database.parallelism
+                    if database.parallelism is not None
+                    else default_parallelism()
+                )
+                emit(f"parallelism: {effective}")
+            else:
+                try:
+                    database.parallelism = max(1, int(argument))
+                    emit(f"parallelism set to {database.parallelism}")
+                except ValueError:
+                    emit(f"error: \\threads expects an integer, got {argument!r}")
+            continue
         if not stripped and not buffer:
             continue
         buffer.append(line)
@@ -76,9 +97,32 @@ def run_shell(
 
 
 def main(argv: list[str] | None = None) -> int:
-    argv = argv if argv is not None else sys.argv[1:]
-    wal_path = argv[0] if argv else None
-    return run_shell(Database(wal_path))
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    threads: int | None = None
+    positional: list[str] = []
+    position = 0
+    while position < len(argv):
+        argument = argv[position]
+        if argument == "--threads":
+            if position + 1 >= len(argv):
+                print("error: --threads requires a value", file=sys.stderr)
+                return 2
+            value = argv[position + 1]
+            position += 2
+        elif argument.startswith("--threads="):
+            value = argument.split("=", 1)[1]
+            position += 1
+        else:
+            positional.append(argument)
+            position += 1
+            continue
+        try:
+            threads = max(1, int(value))
+        except ValueError:
+            print(f"error: --threads expects an integer, got {value!r}", file=sys.stderr)
+            return 2
+    wal_path = positional[0] if positional else None
+    return run_shell(Database(wal_path, parallelism=threads))
 
 
 if __name__ == "__main__":  # pragma: no cover - module entry point

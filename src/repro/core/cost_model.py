@@ -78,6 +78,14 @@ class CostModel:
     #: with PatchSelect plus the MergeUnion) relative to the baseline
     #: sort's linear pass; calibrated on this engine (breakeven ≈ 15 %).
     sort_overhead_weight: float = 0.85
+    #: Per-row cost of the scan pipeline, used by the parallel decision.
+    scan_weight: float = 0.3
+    #: Fixed cost of fanning a query out to the worker pool (thread
+    #: wake-up, per-query bookkeeping), in row-cost units.
+    parallel_startup_weight: float = 32768.0
+    #: Per-morsel dispatch/gather overhead (one pool task plus one
+    #: fragment operator tree), in row-cost units.
+    morsel_dispatch_weight: float = 512.0
 
     # -- use cases -----------------------------------------------------
 
@@ -124,6 +132,33 @@ class CostModel:
             + self.union_weight * n_probe
         )
         return CostEstimate("join", plain, patched)
+
+    def parallel_scan(
+        self, n: int, workers: int, morsel_count: int
+    ) -> CostEstimate:
+        """Serial vs morsel-parallel execution of an ``n``-row pipeline.
+
+        The parallel plan divides the per-row work across *workers* but
+        pays a fixed fan-out cost plus a per-morsel dispatch cost; small
+        inputs therefore stay serial.  ``patched_cost`` plays the role
+        of the parallel plan.
+        """
+        workers = max(1, workers)
+        plain = self.scan_weight * n
+        parallel = (
+            self.scan_weight * n / workers
+            + self.morsel_dispatch_weight * morsel_count
+            + self.parallel_startup_weight
+        )
+        return CostEstimate("parallel_scan", plain, parallel)
+
+    def should_parallelize(
+        self, n: int, workers: int, morsel_count: int
+    ) -> bool:
+        """True when the morsel-parallel plan is estimated cheaper."""
+        if workers <= 1 or morsel_count < 2:
+            return False
+        return self.parallel_scan(n, workers, morsel_count).use_patches
 
     # -- decision surface -------------------------------------------------
 

@@ -191,15 +191,21 @@ class IdentifierPatches(PatchSet):
         if new_row_count < self.row_count:
             raise StorageError("extend cannot shrink the relation")
         new_patch_rowids = np.asarray(new_patch_rowids, dtype=np.int64)
-        if len(new_patch_rowids) and new_patch_rowids.min() < self.row_count:
-            raise StorageError("extend patches must lie in the appended range")
-        old_row_count = self.row_count
+        if len(new_patch_rowids):
+            if new_patch_rowids.min() < self.row_count:
+                raise StorageError(
+                    "extend patches must lie in the appended range"
+                )
+            if len(new_patch_rowids) > 1 and (
+                np.diff(new_patch_rowids) <= 0
+            ).any():
+                new_patch_rowids = np.sort(new_patch_rowids)
+            # Validate only the appended tail: the existing prefix is
+            # already known-good and every new rowid is >= the old row
+            # count, so the concatenation stays strictly ascending.
+            tail = _check_sorted_rowids(new_patch_rowids, new_row_count)
+            self._rowids = np.concatenate([self._rowids, tail])
         self.row_count = new_row_count
-        self._rowids = _check_sorted_rowids(
-            np.concatenate([self._rowids, np.sort(new_patch_rowids)]),
-            new_row_count,
-        )
-        del old_row_count
 
     def add(self, rowids: np.ndarray) -> None:
         rowids = np.asarray(rowids, dtype=np.int64)
@@ -236,6 +242,10 @@ class BitmapPatches(PatchSet):
                 f"bitmap must be uint8[{expected}], got {bits.dtype}[{len(bits)}]"
             )
         self._bits = bits
+        # Cached popcount; ``exception_rate()`` is consulted on every
+        # query-rewrite decision, so |P_c| must not cost an O(n) unpack
+        # per call.  Mutations invalidate (or update) the cache.
+        self._patch_count: int | None = None
 
     @classmethod
     def from_rowids(cls, rowids: np.ndarray, row_count: int) -> "BitmapPatches":
@@ -247,14 +257,18 @@ class BitmapPatches(PatchSet):
                 rowids >> 3,
                 np.left_shift(np.uint8(1), (rowids & 7).astype(np.uint8)),
             )
-        return cls(bits, row_count)
+        patches = cls(bits, row_count)
+        patches._patch_count = len(rowids)  # rowids are unique by contract
+        return patches
 
     @property
     def design(self) -> str:
         return "bitmap"
 
     def patch_count(self) -> int:
-        return int(np.unpackbits(self._bits).sum())
+        if self._patch_count is None:
+            self._patch_count = int(np.unpackbits(self._bits).sum())
+        return self._patch_count
 
     def rowids(self) -> np.ndarray:
         unpacked = np.unpackbits(self._bits, bitorder="little")
@@ -308,6 +322,9 @@ class BitmapPatches(PatchSet):
             rowids >> 3,
             np.left_shift(np.uint8(1), (rowids & 7).astype(np.uint8)),
         )
+        # Input may repeat rowids or re-mark existing patches; recount
+        # lazily on the next patch_count() call.
+        self._patch_count = None
 
     def remap_after_delete(self, deleted: np.ndarray) -> None:
         deleted = np.asarray(deleted, dtype=np.int64)
@@ -318,6 +335,7 @@ class BitmapPatches(PatchSet):
         keep[deleted] = False
         survivors = unpacked[keep]
         self.row_count = len(survivors)
+        self._patch_count = int(survivors.sum())
         self._bits = np.packbits(survivors, bitorder="little")
         expected = (self.row_count + 7) // 8
         if len(self._bits) != expected:  # pad for an all-zero tail

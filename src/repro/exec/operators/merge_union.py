@@ -165,10 +165,14 @@ def merge_keys(
             is_null = not validity[position]
             raw = None if is_null else values[position]
             if key.ascending:
+                # NULLS LAST: (True, _) sorts after every (False, value).
                 part.append((is_null, raw) if not is_null else (True, 0))
             else:
+                # NULL compares greater than every value, so under a
+                # descending key it comes FIRST — same convention as
+                # the Sort operator and the numeric fast path above.
                 part.append(
-                    (is_null, _ReverseKey(raw)) if not is_null else (True, 0)
+                    (True, _ReverseKey(raw)) if not is_null else (False, 0)
                 )
         parts.append(part)
     out = np.empty(len(parts[0]), dtype=object)

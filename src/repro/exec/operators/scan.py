@@ -31,6 +31,30 @@ from repro.types import DataType
 TID_COLUMN = "tid"
 
 
+def normalize_ranges(
+    scan_ranges: list[tuple[int, int]] | None, total: int
+) -> list[tuple[int, int]] | None:
+    """Validate, sort, merge and clip ``[start, stop)`` rowid ranges.
+
+    Negative starts and stops beyond *total* are clipped, empty and
+    inverted ranges are dropped, and overlapping or adjacent ranges are
+    merged.  ``None`` (no restriction) passes through.
+    """
+    if scan_ranges is None:
+        return None
+    cleaned: list[tuple[int, int]] = []
+    for start, stop in sorted(scan_ranges):
+        start = max(0, start)
+        stop = min(total, stop)
+        if start >= stop:
+            continue
+        if cleaned and start <= cleaned[-1][1]:
+            cleaned[-1] = (cleaned[-1][0], max(cleaned[-1][1], stop))
+        else:
+            cleaned.append((start, stop))
+    return cleaned
+
+
 class TableScan(Operator):
     """Scans a table, batch by batch, partition by partition."""
 
@@ -61,20 +85,7 @@ class TableScan(Operator):
         self, scan_ranges: list[tuple[int, int]] | None
     ) -> list[tuple[int, int]] | None:
         """Validate, sort, merge and clip the requested scan ranges."""
-        if scan_ranges is None:
-            return None
-        total = self.table.row_count
-        cleaned: list[tuple[int, int]] = []
-        for start, stop in sorted(scan_ranges):
-            start = max(0, start)
-            stop = min(total, stop)
-            if start >= stop:
-                continue
-            if cleaned and start <= cleaned[-1][1]:
-                cleaned[-1] = (cleaned[-1][0], max(cleaned[-1][1], stop))
-            else:
-                cleaned.append((start, stop))
-        return cleaned
+        return normalize_ranges(scan_ranges, self.table.row_count)
 
     @property
     def schema(self) -> Schema:

@@ -1,0 +1,48 @@
+"""Morsel-driven parallel execution (paper §VI context: Actian Vector's
+parallel scan infrastructure, realized here as a thread pool over
+contiguous rowid morsels).
+
+Components:
+
+- :mod:`~repro.exec.parallel.pool` — the shared worker pool and the
+  ``REPRO_THREADS`` / CPU-count parallelism default;
+- :mod:`~repro.exec.parallel.morsels` — the morsel dispatcher splitting
+  (range-restricted) scans into partition/block-aligned work units;
+- :mod:`~repro.exec.parallel.exchange` — the Exchange scatter/gather
+  operator running a pipeline fragment per morsel;
+- :mod:`~repro.exec.parallel.terminals` — parallel-aware blocking
+  operators (distinct, two-phase aggregation, sort + k-way merge).
+"""
+
+from repro.exec.parallel.exchange import BatchSource, Exchange
+from repro.exec.parallel.morsels import (
+    DEFAULT_MORSEL_SIZE,
+    Morsel,
+    morsels_for_table,
+)
+from repro.exec.parallel.pool import (
+    default_parallelism,
+    get_pool,
+    shutdown_pool,
+)
+from repro.exec.parallel.terminals import (
+    ParallelAggregate,
+    ParallelDistinct,
+    ParallelSort,
+    merge_sorted_runs,
+)
+
+__all__ = [
+    "BatchSource",
+    "Exchange",
+    "DEFAULT_MORSEL_SIZE",
+    "Morsel",
+    "morsels_for_table",
+    "default_parallelism",
+    "get_pool",
+    "shutdown_pool",
+    "ParallelAggregate",
+    "ParallelDistinct",
+    "ParallelSort",
+    "merge_sorted_runs",
+]

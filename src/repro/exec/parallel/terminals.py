@@ -1,0 +1,388 @@
+"""Parallel-aware terminal operators: distinct, aggregation, sort.
+
+Each operator here pushes a *partial* of its work into the morsel
+workers and finishes with a cheap merge at the gather point:
+
+- :class:`ParallelDistinct` — per-worker duplicate elimination (hash
+  sets built per morsel), unioned and deduplicated once at the gather;
+- :class:`ParallelAggregate` — classic two-phase aggregation: partial
+  hash aggregation per morsel, merged by a final aggregation over the
+  partials (COUNT→sum, SUM→sum, MIN/MAX→min/max, AVG→sum+count pairs,
+  COUNT(DISTINCT) via per-morsel distinct partials);
+- :class:`ParallelSort` — per-morsel sort producing sorted runs,
+  combined by a balanced k-way merge built from the MergeUnion kernels.
+  This composes with the NSC sort rewrite: the exclude-patches branch's
+  morsels are already sorted, so its per-morsel "sort" is a no-op pass
+  of the run-adaptive kernel and the k-way merge does the real work.
+
+All three gather partials in morsel (= rowid) order and use
+order-insensitive or stable merges, so their output is byte-identical
+to the corresponding serial operator's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from concurrent.futures import Future
+
+from repro.errors import PlanError
+from repro.exec.batch import RecordBatch
+from repro.exec.operators.aggregate import AggregateSpec, HashAggregate
+from repro.exec.operators.base import Operator
+from repro.exec.operators.distinct import Distinct
+from repro.exec.operators.merge_union import (
+    _interleave,
+    merge_keys,
+    merge_permutation,
+)
+from repro.exec.operators.sort import Sort, SortKey
+from repro.exec.parallel.exchange import BatchSource, FragmentFactory, run_fragment
+from repro.exec.parallel.morsels import Morsel
+from repro.exec.parallel.pool import get_pool
+from repro.storage.column import ColumnVector
+from repro.storage.schema import Schema
+from repro.types import DataType
+
+
+class _ParallelBlocking(Operator):
+    """Scaffolding shared by the blocking parallel terminals.
+
+    Subclasses provide :meth:`_wrap` (the per-morsel partial operator
+    placed on top of a fragment) and :meth:`_combine` (the final merge
+    over the gathered partial batches, in morsel order).
+    """
+
+    def __init__(
+        self,
+        fragment_factory: FragmentFactory,
+        template: Operator,
+        morsels: Sequence[Morsel],
+        parallelism: int,
+    ):
+        if parallelism < 1:
+            raise PlanError("parallel operator needs parallelism >= 1")
+        self.fragment_factory = fragment_factory
+        self.template = template
+        self.morsels = list(morsels)
+        self.parallelism = parallelism
+        self._futures: deque[Future] | None = None
+        self._done = False
+
+    def children(self) -> list[Operator]:
+        return [self.template]
+
+    def open(self) -> None:
+        pool = get_pool(self.parallelism)
+        factory = self._wrapped_factory
+        self._futures = deque(
+            pool.submit(run_fragment, factory, morsel)
+            for morsel in self.morsels
+        )
+        self._done = False
+
+    def _wrapped_factory(self, ranges: list[tuple[int, int]]) -> Operator:
+        return self._wrap(self.fragment_factory(ranges))
+
+    def next_batch(self) -> RecordBatch | None:
+        if self._futures is None:
+            raise PlanError("parallel operator used before open()")
+        if self._done:
+            return None
+        self._done = True
+        partials: list[RecordBatch] = []
+        while self._futures:
+            partials.extend(self._futures.popleft().result())
+        return self._combine(partials)
+
+    def close(self) -> None:
+        if self._futures is not None:
+            for future in self._futures:
+                future.cancel()
+            self._futures = None
+
+    def _detail(self) -> str:
+        return f"dop={self.parallelism}, morsels={len(self.morsels)}"
+
+    # -- subclass hooks ------------------------------------------------
+
+    def _wrap(self, fragment: Operator) -> Operator:
+        raise NotImplementedError
+
+    def _combine(self, partials: list[RecordBatch]) -> RecordBatch | None:
+        raise NotImplementedError
+
+
+class ParallelDistinct(_ParallelBlocking):
+    """Duplicate elimination with per-worker partials.
+
+    Workers deduplicate their morsels locally (each morsel's hash set is
+    built independently); the gather unions the partial results and runs
+    one final deduplication over the — much smaller — union.
+    """
+
+    def __init__(
+        self,
+        fragment_factory: FragmentFactory,
+        template: Operator,
+        morsels: Sequence[Morsel],
+        parallelism: int,
+    ):
+        super().__init__(fragment_factory, template, morsels, parallelism)
+        self._schema = template.schema
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def _wrap(self, fragment: Operator) -> Operator:
+        return Distinct(fragment)
+
+    def _combine(self, partials: list[RecordBatch]) -> RecordBatch | None:
+        final = Distinct(BatchSource(self._schema, partials))
+        final.open()
+        try:
+            return final.next_batch()
+        finally:
+            final.close()
+
+    def label(self) -> str:
+        return f"ParallelDistinct({self._detail()})"
+
+
+class ParallelSort(_ParallelBlocking):
+    """Per-morsel sort plus a balanced k-way merge of the sorted runs."""
+
+    def __init__(
+        self,
+        fragment_factory: FragmentFactory,
+        template: Operator,
+        morsels: Sequence[Morsel],
+        parallelism: int,
+        keys: list[SortKey],
+    ):
+        super().__init__(fragment_factory, template, morsels, parallelism)
+        self.keys = list(keys)
+        self._schema = template.schema
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def _wrap(self, fragment: Operator) -> Operator:
+        return Sort(fragment, self.keys)
+
+    def _combine(self, partials: list[RecordBatch]) -> RecordBatch | None:
+        if not partials:
+            return None
+        return merge_sorted_runs(partials, self.keys, self._schema)
+
+    def label(self) -> str:
+        keys = ", ".join(str(key) for key in self.keys)
+        return f"ParallelSort({keys}; {self._detail()})"
+
+
+def merge_sorted_runs(
+    runs: list[RecordBatch], keys: list[SortKey], schema: Schema
+) -> RecordBatch:
+    """K-way merge of sorted runs via a balanced tree of 2-way merges.
+
+    Adjacent runs merge pairwise (ties taking the left / earlier run
+    first), so the result is exactly what one stable sort of the
+    concatenated input would produce — runs must be given in input
+    order for that equivalence.
+    """
+    while len(runs) > 1:
+        merged: list[RecordBatch] = []
+        for position in range(0, len(runs) - 1, 2):
+            merged.append(
+                _merge_pair(runs[position], runs[position + 1], keys, schema)
+            )
+        if len(runs) % 2:
+            merged.append(runs[-1])
+        runs = merged
+    return runs[0]
+
+
+def _merge_pair(
+    left: RecordBatch, right: RecordBatch, keys: list[SortKey], schema: Schema
+) -> RecordBatch:
+    promote = any(
+        batch.column(key.column).has_nulls
+        for batch in (left, right)
+        for key in keys
+    )
+    left_keys = merge_keys(left, keys, promote)
+    right_keys = merge_keys(right, keys, promote)
+    left_positions, right_positions = merge_permutation(left_keys, right_keys)
+    columns = {
+        field.name: _interleave(
+            left.column(field.name),
+            right.column(field.name),
+            left_positions,
+            right_positions,
+        )
+        for field in schema
+    }
+    return RecordBatch(schema, columns)
+
+
+class ParallelAggregate(_ParallelBlocking):
+    """Two-phase aggregation: morsel-local partials, one final merge.
+
+    Every worker aggregates its morsels into per-group partial states;
+    the gather merges the partials with a second aggregation (COUNT and
+    SUM partials merge by summing, MIN/MAX by min/max, AVG carries a
+    sum+count pair).  A single COUNT(DISTINCT c) aggregate instead uses
+    per-morsel *distinct* partials — the per-worker hash sets are
+    unioned at the gather and counted once.
+    """
+
+    def __init__(
+        self,
+        fragment_factory: FragmentFactory,
+        template: Operator,
+        morsels: Sequence[Morsel],
+        parallelism: int,
+        group_by: list[str],
+        aggregates: list[AggregateSpec],
+    ):
+        super().__init__(fragment_factory, template, morsels, parallelism)
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        # Validates specs and pins the output schema (same as serial).
+        self._schema = HashAggregate(template, group_by, aggregates).schema
+        self._distinct_mode = (
+            len(self.aggregates) == 1
+            and self.aggregates[0].func == "count_distinct"
+        )
+        if not self._distinct_mode and any(
+            spec.func == "count_distinct" for spec in self.aggregates
+        ):
+            raise PlanError(
+                "ParallelAggregate supports count_distinct only as the "
+                "sole aggregate; plan a serial aggregate over an Exchange"
+            )
+        if not self._distinct_mode:
+            self._partial_specs, self._final_specs = _two_phase_specs(
+                self.aggregates
+            )
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def _wrap(self, fragment: Operator) -> Operator:
+        if self._distinct_mode:
+            spec = self.aggregates[0]
+            columns = list(self.group_by)
+            if spec.column not in columns:
+                columns.append(spec.column)
+            return Distinct(fragment, columns)
+        return HashAggregate(fragment, self.group_by, self._partial_specs)
+
+    def _combine(self, partials: list[RecordBatch]) -> RecordBatch | None:
+        if not partials:
+            # Canonical empty-input result (one row for scalar
+            # aggregation, zero rows with GROUP BY) via the serial path.
+            final = HashAggregate(
+                BatchSource(self.template.schema, []),
+                self.group_by,
+                self.aggregates,
+            )
+            return _drain_one(final)
+        partial_schema = partials[0].schema
+        source = BatchSource(partial_schema, partials)
+        if self._distinct_mode:
+            merged = _drain_one(
+                HashAggregate(source, self.group_by, self.aggregates)
+            )
+            return RecordBatch(self._schema, merged.columns)
+        merged = _drain_one(
+            HashAggregate(source, self.group_by, self._final_specs)
+        )
+        columns: dict[str, ColumnVector] = {
+            name: merged.column(name) for name in self.group_by
+        }
+        for spec in self.aggregates:
+            if spec.func == "avg":
+                columns[spec.alias] = _finish_avg(
+                    merged.column(_sum_alias(spec)),
+                    merged.column(_count_alias(spec)),
+                )
+            else:
+                columns[spec.alias] = merged.column(spec.alias)
+        return RecordBatch(self._schema, columns)
+
+    def label(self) -> str:
+        keys = ", ".join(self.group_by) if self.group_by else "<global>"
+        aggs = ", ".join(
+            f"{spec.func}({spec.column or '*'}) AS {spec.alias}"
+            for spec in self.aggregates
+        )
+        strategy = "distinct-partials" if self._distinct_mode else "two-phase"
+        return (
+            f"ParallelAggregate(by=[{keys}], aggs=[{aggs}], "
+            f"{strategy}; {self._detail()})"
+        )
+
+
+def _sum_alias(spec: AggregateSpec) -> str:
+    return f"__partial_sum__{spec.alias}"
+
+
+def _count_alias(spec: AggregateSpec) -> str:
+    return f"__partial_count__{spec.alias}"
+
+
+def _two_phase_specs(
+    aggregates: list[AggregateSpec],
+) -> tuple[list[AggregateSpec], list[AggregateSpec]]:
+    """Partial (worker) and final (merge) specs for two-phase aggregation."""
+    partial: list[AggregateSpec] = []
+    final: list[AggregateSpec] = []
+    for spec in aggregates:
+        if spec.func in ("count", "count_star"):
+            partial.append(AggregateSpec(spec.func, spec.column, spec.alias))
+            final.append(AggregateSpec("sum", spec.alias, spec.alias))
+        elif spec.func in ("sum", "min", "max"):
+            partial.append(AggregateSpec(spec.func, spec.column, spec.alias))
+            final.append(AggregateSpec(spec.func, spec.alias, spec.alias))
+        elif spec.func == "avg":
+            partial.append(AggregateSpec("sum", spec.column, _sum_alias(spec)))
+            partial.append(
+                AggregateSpec("count", spec.column, _count_alias(spec))
+            )
+            final.append(AggregateSpec("sum", _sum_alias(spec), _sum_alias(spec)))
+            final.append(
+                AggregateSpec("sum", _count_alias(spec), _count_alias(spec))
+            )
+        else:  # pragma: no cover - guarded in the constructor
+            raise PlanError(f"cannot parallelize aggregate {spec.func!r}")
+    return partial, final
+
+
+def _finish_avg(sums: ColumnVector, counts: ColumnVector) -> ColumnVector:
+    """AVG from merged sum/count partials (NULL where no valid input)."""
+    count_values = counts.values.astype(np.int64)
+    empty = count_values == 0
+    sum_values = sums.values.astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(empty, 0.0, sum_values / np.maximum(count_values, 1))
+    validity = None if not empty.any() else ~empty
+    return ColumnVector(DataType.FLOAT64, means, validity)
+
+
+def _drain_one(operator: Operator) -> RecordBatch:
+    """Open a blocking operator, take its single batch, close it."""
+    operator.open()
+    try:
+        batch = operator.next_batch()
+    finally:
+        operator.close()
+    if batch is None:  # pragma: no cover - blocking aggregates always emit
+        raise PlanError("blocking operator produced no batch")
+    return batch

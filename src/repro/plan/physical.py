@@ -1,6 +1,6 @@
 """Physical planning: logical plan → executable operator tree.
 
-Mostly a 1:1 mapping, plus two physical decisions:
+Mostly a 1:1 mapping, plus three physical decisions:
 
 - **Scan-range derivation**: a filter directly above a scan with a
   ``column <op> literal`` conjunct is evaluated against the per-block
@@ -11,10 +11,22 @@ Mostly a 1:1 mapping, plus two physical decisions:
 - **Hash-join build-side choice**: the smaller estimated input builds
   the hash table (§VI-B3); a projection restores the original column
   order when the sides were swapped.
+- **Morsel-driven parallelism**: a scan pipeline (Scan, optionally
+  PatchSelect, then Filter/Project chains) big enough for the cost
+  model's :meth:`~repro.core.cost_model.CostModel.should_parallelize`
+  becomes an Exchange over contiguous rowid morsels; a Distinct /
+  Aggregate / Sort directly on top becomes its parallel-aware
+  counterpart with per-worker partials.  The degree of parallelism
+  comes from the ``parallelism`` knob (default: ``REPRO_THREADS`` or
+  the CPU count), and EXPLAIN shows it on every parallel operator.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable
+
+from repro.core.cost_model import CostModel
 from repro.errors import PlanError
 from repro.exec.batch import DEFAULT_BATCH_SIZE
 from repro.exec.expressions import And, ColumnRef, Comparison, Expression, Literal
@@ -35,9 +47,39 @@ from repro.exec.operators import (
     TopN,
     UnionAll,
 )
+from repro.exec.operators.scan import normalize_ranges
+from repro.exec.parallel import (
+    DEFAULT_MORSEL_SIZE,
+    Exchange,
+    Morsel,
+    ParallelAggregate,
+    ParallelDistinct,
+    ParallelSort,
+    default_parallelism,
+    morsels_for_table,
+)
 from repro.plan import logical as lp
 from repro.plan.cardinality import estimate_rows
 from repro.types.datatypes import coerce_scalar
+
+
+@dataclass
+class _Fragment:
+    """A parallelizable scan pipeline matched in the logical plan.
+
+    ``build`` reconstructs the physical fragment restricted to a set of
+    global rowid ranges — the planner hands it to the Exchange, which
+    calls it once per morsel (``None`` ranges = the unrestricted
+    template used for schema/EXPLAIN).
+    """
+
+    build: Callable[[list[tuple[int, int]] | None], Operator]
+    ranges: list[tuple[int, int]] | None
+    covered_rows: int
+    morsels: list[Morsel] = dataclass_field(default_factory=list)
+
+    def template(self) -> Operator:
+        return self.build(self.ranges)
 
 
 class PhysicalPlanner:
@@ -48,12 +90,23 @@ class PhysicalPlanner:
         batch_size: int = DEFAULT_BATCH_SIZE,
         derive_scan_ranges: bool = True,
         choose_build_side: bool = True,
+        parallelism: int | None = None,
+        morsel_size: int = DEFAULT_MORSEL_SIZE,
+        cost_model: CostModel | None = None,
     ):
         self.batch_size = batch_size
         self.derive_scan_ranges = derive_scan_ranges
         self.choose_build_side = choose_build_side
+        self.parallelism = (
+            default_parallelism() if parallelism is None else max(1, parallelism)
+        )
+        self.morsel_size = morsel_size
+        self.cost_model = cost_model if cost_model is not None else CostModel()
 
     def plan(self, logical: lp.LogicalPlan) -> Operator:
+        parallel = self._try_parallel(logical)
+        if parallel is not None:
+            return parallel
         if isinstance(logical, lp.LogicalScan):
             return self._plan_scan(logical)
         if isinstance(logical, lp.LogicalPatchSelect):
@@ -106,6 +159,148 @@ class PhysicalPlanner:
                 list(logical.keys),
             )
         raise PlanError(f"cannot plan logical node {type(logical).__name__}")
+
+    # -- morsel-driven parallelism ------------------------------------------
+
+    def _try_parallel(self, logical: lp.LogicalPlan) -> Operator | None:
+        """Parallel plan for this node, or None to fall through to serial.
+
+        Blocking terminals directly over a scan pipeline push partial
+        work into the morsel workers; a bare pipeline becomes a plain
+        ordered Exchange.  Any other node returns None — its children
+        still get their own chance when the serial dispatch recurses.
+        """
+        if self.parallelism <= 1:
+            return None
+        if isinstance(logical, lp.LogicalDistinct):
+            fragment = self._match_fragment(logical.child)
+            if fragment is not None:
+                return ParallelDistinct(
+                    fragment.build,
+                    fragment.template(),
+                    fragment.morsels,
+                    self.parallelism,
+                )
+            return None
+        if isinstance(logical, lp.LogicalSort):
+            fragment = self._match_fragment(logical.child)
+            if fragment is not None:
+                return ParallelSort(
+                    fragment.build,
+                    fragment.template(),
+                    fragment.morsels,
+                    self.parallelism,
+                    list(logical.keys),
+                )
+            return None
+        if isinstance(logical, lp.LogicalAggregate):
+            fragment = self._match_fragment(logical.child)
+            if fragment is None:
+                return None
+            specs = list(logical.aggregates)
+            distinct_count = sum(
+                1 for spec in specs if spec.func == "count_distinct"
+            )
+            if distinct_count == 0 or (distinct_count == 1 and len(specs) == 1):
+                return ParallelAggregate(
+                    fragment.build,
+                    fragment.template(),
+                    fragment.morsels,
+                    self.parallelism,
+                    list(logical.group_by),
+                    specs,
+                )
+            # Mixed count_distinct shapes: parallelize the scan only.
+            return HashAggregate(
+                Exchange(
+                    fragment.build,
+                    fragment.template(),
+                    fragment.morsels,
+                    self.parallelism,
+                ),
+                list(logical.group_by),
+                specs,
+            )
+        fragment = self._match_fragment(logical)
+        if fragment is not None:
+            return Exchange(
+                fragment.build,
+                fragment.template(),
+                fragment.morsels,
+                self.parallelism,
+            )
+        return None
+
+    def _match_fragment(self, logical: lp.LogicalPlan) -> _Fragment | None:
+        """Match a Filter/Project chain over (PatchSelect over) a scan,
+        and accept it for parallel execution if the cost model agrees."""
+        nodes: list[lp.LogicalPlan] = []
+        patch: lp.LogicalPatchSelect | None = None
+        current = logical
+        while True:
+            if isinstance(current, lp.LogicalScan):
+                scan = current
+                break
+            if isinstance(current, lp.LogicalPatchSelect):
+                patch = current
+                scan = current.child
+                break
+            if isinstance(current, (lp.LogicalFilter, lp.LogicalProject)):
+                nodes.append(current)
+                current = current.child
+                continue
+            return None
+
+        ranges = (
+            list(scan.scan_ranges) if scan.scan_ranges is not None else None
+        )
+        if (
+            ranges is None
+            and self.derive_scan_ranges
+            and patch is None
+            and nodes
+            and isinstance(nodes[-1], lp.LogicalFilter)
+        ):
+            # Same rule as the serial path: block-prune only when the
+            # filter sits directly on the scan.
+            ranges = self._ranges_for_predicate(scan, nodes[-1].predicate)
+        normalized = normalize_ranges(ranges, scan.table.row_count)
+        covered = (
+            sum(stop - start for start, stop in normalized)
+            if normalized is not None
+            else scan.table.row_count
+        )
+
+        def build(
+            morsel_ranges: list[tuple[int, int]] | None,
+        ) -> Operator:
+            operator: Operator = TableScan(
+                scan.table,
+                list(scan.columns) if scan.columns is not None else None,
+                scan_ranges=morsel_ranges,
+                with_tid=scan.with_tid,
+                batch_size=self.batch_size,
+            )
+            if patch is not None:
+                mode = (
+                    PatchSelectMode.USE_PATCHES
+                    if patch.use_patches
+                    else PatchSelectMode.EXCLUDE_PATCHES
+                )
+                operator = PatchSelect(operator, patch.index, mode)
+            for node in reversed(nodes):
+                if isinstance(node, lp.LogicalFilter):
+                    operator = Filter(operator, node.predicate)
+                else:
+                    operator = Project(operator, list(node.outputs))
+            return operator
+
+        morsels = morsels_for_table(scan.table, normalized, self.morsel_size)
+        if not self.cost_model.should_parallelize(
+            covered, self.parallelism, len(morsels)
+        ):
+            return None
+        return _Fragment(build, normalized, covered, morsels)
 
     # -- scans & filters ---------------------------------------------------
 

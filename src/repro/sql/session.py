@@ -33,17 +33,23 @@ def execute_sql(
     database: "Database",
     text: str,
     optimizer_options: OptimizerOptions | None = None,
+    parallelism: int | None = None,
 ) -> QueryResult:
     """Execute one SQL statement and return its result.
 
     DDL and DML statements return a 1×1 result describing the effect
     (e.g. rows inserted); queries return their result set.
+    *parallelism* caps the degree of parallelism of the physical plan
+    (``None`` resolves ``REPRO_THREADS`` / the CPU count, ``1`` forces
+    serial execution).
     """
     statement = parse_statement(text)
     if isinstance(statement, ast.SqlSelect):
-        return run_select(database, statement, optimizer_options)
+        return run_select(database, statement, optimizer_options, parallelism)
     if isinstance(statement, ast.SqlExplain):
-        rendered = explain_select(database, statement.query, optimizer_options)
+        rendered = explain_select(
+            database, statement.query, optimizer_options, parallelism
+        )
         return _message_result("plan", rendered)
     if isinstance(statement, ast.SqlCreateTable):
         schema = Schema(
@@ -74,7 +80,7 @@ def execute_sql(
         inserted = _run_insert(database, statement)
         return _message_result("status", f"{inserted} rows inserted")
     if isinstance(statement, ast.SqlDelete):
-        deleted = _run_delete(database, statement, optimizer_options)
+        deleted = _run_delete(database, statement, optimizer_options, parallelism)
         return _message_result("status", f"{deleted} rows deleted")
     raise BindError(f"unsupported statement type: {type(statement).__name__}")
 
@@ -83,6 +89,7 @@ def explain_sql(
     database: "Database",
     text: str,
     optimizer_options: OptimizerOptions | None = None,
+    parallelism: int | None = None,
 ) -> str:
     """Return the optimized logical + physical plan of a query."""
     statement = parse_statement(text)
@@ -90,17 +97,18 @@ def explain_sql(
         statement = statement.query
     if not isinstance(statement, ast.SqlSelect):
         raise BindError("EXPLAIN supports SELECT statements only")
-    return explain_select(database, statement, optimizer_options)
+    return explain_select(database, statement, optimizer_options, parallelism)
 
 
 def run_select(
     database: "Database",
     select: ast.SqlSelect,
     optimizer_options: OptimizerOptions | None = None,
+    parallelism: int | None = None,
 ) -> QueryResult:
     logical = Binder(database.catalog).bind_select(select)
     optimized = Optimizer(database.catalog, optimizer_options).optimize(logical)
-    operator = PhysicalPlanner().plan(optimized)
+    operator = PhysicalPlanner(parallelism=parallelism).plan(optimized)
     return collect(operator)
 
 
@@ -108,10 +116,11 @@ def explain_select(
     database: "Database",
     select: ast.SqlSelect,
     optimizer_options: OptimizerOptions | None = None,
+    parallelism: int | None = None,
 ) -> str:
     logical = Binder(database.catalog).bind_select(select)
     optimized = Optimizer(database.catalog, optimizer_options).optimize(logical)
-    operator = PhysicalPlanner().plan(optimized)
+    operator = PhysicalPlanner(parallelism=parallelism).plan(optimized)
     return explain_both(optimized, operator)
 
 
@@ -144,6 +153,7 @@ def _run_delete(
     database: "Database",
     statement: ast.SqlDelete,
     optimizer_options: OptimizerOptions | None,
+    parallelism: int | None = None,
 ) -> int:
     table = database.table(statement.table)
     if statement.where is None:
@@ -157,7 +167,7 @@ def _run_delete(
         from_table=ast.SqlNamedTable(statement.table),
         where=statement.where,
     )
-    result = run_select(database, select, optimizer_options)
+    result = run_select(database, select, optimizer_options, parallelism)
     rowids = [value for value in result.column(TID_COLUMN).to_pylist()]
     return table.delete_rowids(np.asarray(rowids, dtype=np.int64))
 

@@ -63,9 +63,17 @@ def payload_to_schema(payload: Sequence[Mapping]) -> Schema:
 class Database:
     """A self-contained analytical database instance."""
 
-    def __init__(self, wal_path: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        wal_path: str | os.PathLike | None = None,
+        parallelism: int | None = None,
+    ):
         self.catalog = Catalog()
         self.wal = WriteAheadLog(wal_path)
+        #: Default degree of parallelism for queries issued through this
+        #: instance; ``None`` lets the planner resolve ``REPRO_THREADS``
+        #: / the CPU count, ``1`` forces serial plans.
+        self.parallelism = parallelism
 
     # -- table DDL ----------------------------------------------------------
 
@@ -177,23 +185,26 @@ class Database:
 
     # -- SQL entry point ----------------------------------------------------------
 
-    def sql(self, text: str) -> "QueryResult":
+    def sql(self, text: str, parallelism: int | None = None) -> "QueryResult":
         """Parse, bind, optimize and execute a SQL statement.
 
         DDL statements return an empty result; queries return a
         :class:`~repro.exec.result.QueryResult` with named columns.
+        *parallelism* overrides the instance default for this statement.
         """
         # Imported lazily to avoid a package import cycle
         # (storage → sql → plan → storage).
         from repro.sql.session import execute_sql
 
-        return execute_sql(self, text)
+        effective = parallelism if parallelism is not None else self.parallelism
+        return execute_sql(self, text, parallelism=effective)
 
-    def explain(self, text: str) -> str:
+    def explain(self, text: str, parallelism: int | None = None) -> str:
         """Return the optimized plan of a SQL query as indented text."""
         from repro.sql.session import explain_sql
 
-        return explain_sql(self, text)
+        effective = parallelism if parallelism is not None else self.parallelism
+        return explain_sql(self, text, parallelism=effective)
 
     # -- recovery -------------------------------------------------------------
 
@@ -213,6 +224,7 @@ class Database:
         database = cls.__new__(cls)
         database.catalog = Catalog()
         database.wal = WriteAheadLog(wal_path)
+        database.parallelism = None
         loaders = dict(data_loaders or {})
         for record in database.wal.live_records():
             if record.kind == "create_table":

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import PlanError
-from repro.exec.operators.scan import TID_COLUMN, TableScan
+from repro.exec.operators.scan import TID_COLUMN, TableScan, normalize_ranges
+from repro.exec.parallel import morsels_for_table
 from repro.exec.result import collect
 from repro.storage.schema import Field, Schema
 from repro.storage.table import Table
@@ -126,3 +127,74 @@ class TestRescan:
         first = collect(scan)
         second = collect(scan)
         assert first.column("x").to_pylist() == second.column("x").to_pylist()
+
+
+class TestNormalizeRanges:
+    """Edge cases of the shared range normalizer (also used by the
+    morsel dispatcher, so its invariants protect parallel plans too)."""
+
+    def test_none_passes_through(self):
+        assert normalize_ranges(None, 100) is None
+
+    def test_overlapping_ranges_merge(self):
+        assert normalize_ranges([(0, 10), (5, 15)], 100) == [(0, 15)]
+
+    def test_adjacent_ranges_merge(self):
+        assert normalize_ranges([(0, 10), (10, 20)], 100) == [(0, 20)]
+
+    def test_contained_range_absorbed(self):
+        assert normalize_ranges([(0, 20), (5, 10)], 100) == [(0, 20)]
+
+    def test_negative_start_clipped(self):
+        assert normalize_ranges([(-7, 5)], 100) == [(0, 5)]
+
+    def test_stop_beyond_total_clipped(self):
+        assert normalize_ranges([(90, 500)], 100) == [(90, 100)]
+
+    def test_inverted_range_dropped(self):
+        assert normalize_ranges([(10, 5)], 100) == []
+
+    def test_empty_range_dropped(self):
+        assert normalize_ranges([(5, 5), (7, 9)], 100) == [(7, 9)]
+
+    def test_fully_out_of_bounds_dropped(self):
+        assert normalize_ranges([(-10, -1), (100, 200)], 100) == []
+
+    def test_unsorted_input_sorted(self):
+        assert normalize_ranges([(30, 40), (0, 10)], 100) == [
+            (0, 10),
+            (30, 40),
+        ]
+
+    def test_disjoint_ranges_stay_separate(self):
+        assert normalize_ranges([(0, 5), (7, 9)], 100) == [(0, 5), (7, 9)]
+
+
+class TestMorselBoundaries:
+    """Morsel boundaries fall between rowids — never inside one, and
+    never splitting a rowid between two fragments' batches."""
+
+    def test_every_rowid_scanned_exactly_once_across_morsels(self):
+        table = make_table(n=50, partition_count=3, block_size=4)
+        seen = []
+        for morsel in morsels_for_table(table, None, morsel_size=8):
+            result = collect(
+                TableScan(table, scan_ranges=list(morsel.ranges))
+            )
+            seen.extend(result.column("x").to_pylist())
+        assert seen == list(range(50))
+
+    def test_batches_within_a_morsel_stay_contiguous(self):
+        table = make_table(n=40, partition_count=2, block_size=4)
+        for morsel in morsels_for_table(table, None, morsel_size=8):
+            scan = TableScan(table, scan_ranges=list(morsel.ranges),
+                             batch_size=4)
+            scan.open()
+            while True:
+                batch = scan.next_batch()
+                if batch is None:
+                    break
+                assert batch.contiguous_range is not None
+                start, stop = batch.contiguous_range
+                assert batch.rowids.tolist() == list(range(start, stop))
+            scan.close()

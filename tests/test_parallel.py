@@ -1,0 +1,550 @@
+"""Morsel-driven parallel execution: dispatch, pool, equivalence.
+
+Every parallel plan must be byte-identical to its serial counterpart —
+ordered gather in morsel (= rowid) order, stable pairwise merges, and
+two-phase aggregation that preserves the serial group order.  The tests
+force parallel plans on small tables with a zero-overhead cost model;
+the default model keeps such tables serial (checked too).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.errors import PlanError, StorageError
+from repro.exec.operators import (
+    Distinct,
+    HashAggregate,
+    PatchSelect,
+    PatchSelectMode,
+    Sort,
+    TableScan,
+)
+from repro.exec.operators.aggregate import AggregateSpec
+from repro.exec.operators.sort import SortKey
+from repro.exec.parallel import (
+    BatchSource,
+    Exchange,
+    Morsel,
+    ParallelAggregate,
+    ParallelDistinct,
+    ParallelSort,
+    default_parallelism,
+    morsels_for_table,
+)
+from repro.exec.result import collect
+from repro.plan.optimizer import Optimizer
+from repro.plan.physical import PhysicalPlanner
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_statement
+from repro.storage.database import Database
+from repro.storage.schema import Field, Schema
+from repro.storage.table import Table
+from repro.types import DataType
+
+#: Cost model that always says "parallelize" for >= 2 morsels.
+FORCE = CostModel(parallel_startup_weight=0.0, morsel_dispatch_weight=0.0)
+
+
+def make_table(n=100, partition_count=3, block_size=8, name="t"):
+    return Table.from_pydict(
+        name,
+        Schema([Field("x", DataType.INT64)]),
+        {"x": list(range(n))},
+        partition_count=partition_count,
+        block_size=block_size,
+    )
+
+
+def covered_rowids(morsels):
+    out = []
+    for morsel in morsels:
+        for start, stop in morsel.ranges:
+            out.extend(range(start, stop))
+    return out
+
+
+class TestMorselDispatch:
+    def test_full_table_covers_every_rowid_exactly_once(self):
+        table = make_table(n=100, partition_count=3, block_size=8)
+        morsels = morsels_for_table(table, None, morsel_size=16)
+        rowids = covered_rowids(morsels)
+        assert rowids == list(range(100))  # in order, no dup, no split
+
+    def test_morsels_never_cross_partitions(self):
+        table = make_table(n=90, partition_count=4, block_size=4)
+        morsels = morsels_for_table(table, None, morsel_size=1 << 30)
+        partition_ranges = [p.rowid_range for p in table.partitions]
+        for morsel in morsels:
+            lo = morsel.ranges[0][0]
+            hi = morsel.ranges[-1][1]
+            assert any(
+                p_start <= lo and hi <= p_stop
+                for p_start, p_stop in partition_ranges
+            )
+        # One morsel per partition when the size cap never triggers.
+        assert len(morsels) == len(table.partitions)
+
+    def test_boundaries_align_to_block_grid(self):
+        table = make_table(n=64, partition_count=1, block_size=8)
+        morsels = morsels_for_table(table, None, morsel_size=16)
+        for morsel in morsels[:-1]:
+            assert morsel.ranges[-1][1] % 8 == 0
+
+    def test_restricted_ranges_cover_exactly_the_request(self):
+        table = make_table(n=100, partition_count=3, block_size=8)
+        requested = [(5, 20), (40, 45), (90, 200)]  # last clipped to 100
+        morsels = morsels_for_table(table, requested, morsel_size=8)
+        expected = (
+            list(range(5, 20)) + list(range(40, 45)) + list(range(90, 100))
+        )
+        assert covered_rowids(morsels) == expected
+
+    def test_small_pruned_ranges_coalesce_into_one_morsel(self):
+        table = make_table(n=64, partition_count=1, block_size=8)
+        # Three disjoint 4-row islands, 12 rows total, under morsel_size.
+        morsels = morsels_for_table(
+            table, [(0, 4), (16, 20), (32, 36)], morsel_size=64
+        )
+        assert len(morsels) == 1
+        assert morsels[0].ranges == ((0, 4), (16, 20), (32, 36))
+        assert morsels[0].rows == 12
+
+    def test_adjacent_chunks_merge_within_a_morsel(self):
+        table = make_table(n=32, partition_count=1, block_size=4)
+        morsels = morsels_for_table(table, None, morsel_size=1 << 30)
+        assert len(morsels) == 1
+        assert morsels[0].ranges == ((0, 32),)
+
+    def test_empty_table_has_no_morsels(self):
+        table = Table("e", Schema([Field("x", DataType.INT64)]), 2)
+        assert morsels_for_table(table, None, morsel_size=8) == []
+
+    def test_empty_request_has_no_morsels(self):
+        table = make_table(n=20)
+        assert morsels_for_table(table, [(5, 5)], morsel_size=8) == []
+
+
+class TestPartitionMorselRanges:
+    def test_covers_partition_on_block_grid(self):
+        table = make_table(n=20, partition_count=1, block_size=4)
+        partition = table.partitions[0]
+        ranges = partition.morsel_ranges(8)
+        assert ranges == [(0, 8), (8, 16), (16, 20)]
+
+    def test_morsel_size_below_block_size_rounds_up(self):
+        table = make_table(n=16, partition_count=1, block_size=8)
+        assert table.partitions[0].morsel_ranges(2) == [(0, 8), (8, 16)]
+
+    def test_rejects_non_positive(self):
+        table = make_table(n=8, partition_count=1)
+        with pytest.raises(StorageError):
+            table.partitions[0].morsel_ranges(0)
+
+
+class TestPool:
+    def test_repro_threads_env_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "7")
+        assert default_parallelism() == 7
+
+    def test_repro_threads_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "0")
+        assert default_parallelism() == 1
+
+    def test_repro_threads_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "lots")
+        with pytest.raises(PlanError):
+            default_parallelism()
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_THREADS", raising=False)
+        import os
+
+        assert default_parallelism() == (os.cpu_count() or 1)
+
+
+def scan_factory(table, **kwargs):
+    def build(ranges):
+        return TableScan(table, scan_ranges=ranges, batch_size=16, **kwargs)
+
+    return build
+
+
+class TestExchange:
+    def test_scan_equivalence_and_order(self):
+        table = make_table(n=100, partition_count=3, block_size=8)
+        build = scan_factory(table)
+        morsels = morsels_for_table(table, None, morsel_size=16)
+        parallel = collect(Exchange(build, build(None), morsels, 4))
+        serial = collect(build(None))
+        assert parallel.to_pylist() == serial.to_pylist()
+
+    def test_restricted_scan_equivalence(self):
+        table = make_table(n=100, partition_count=3, block_size=8)
+        requested = [(3, 30), (60, 95)]
+        build = scan_factory(table)
+        morsels = morsels_for_table(table, requested, morsel_size=8)
+        parallel = collect(Exchange(build, build(requested), morsels, 4))
+        serial = collect(build(requested))
+        assert parallel.to_pylist() == serial.to_pylist()
+
+    @pytest.mark.parametrize(
+        "mode", [PatchSelectMode.USE_PATCHES, PatchSelectMode.EXCLUDE_PATCHES]
+    )
+    def test_patch_select_per_morsel(self, mode):
+        rng = np.random.default_rng(7)
+        values = list(range(120))
+        for rowid in rng.choice(120, 15, replace=False):
+            values[int(rowid)] = 3  # duplicates become patches
+        db = Database()
+        db.create_table_from_pydict(
+            "p",
+            Schema([Field("x", DataType.INT64)]),
+            {"x": values},
+            partition_count=3,
+        )
+        index = db.create_patch_index("pi", "p", "x", kind="unique")
+        table = db.table("p")
+
+        def build(ranges):
+            return PatchSelect(
+                TableScan(table, scan_ranges=ranges, batch_size=16), index, mode
+            )
+
+        morsels = morsels_for_table(table, None, morsel_size=16)
+        parallel = collect(Exchange(build, build(None), morsels, 4))
+        serial = collect(build(None))
+        assert parallel.to_pylist() == serial.to_pylist()
+
+    def test_no_morsels_yields_empty(self):
+        table = Table("e", Schema([Field("x", DataType.INT64)]), 1)
+        build = scan_factory(table)
+        result = collect(Exchange(build, build(None), [], 4))
+        assert result.row_count == 0
+
+    def test_template_shown_in_explain_but_never_opened(self):
+        table = make_table(n=32)
+        build = scan_factory(table)
+        template = build(None)
+        morsels = morsels_for_table(table, None, morsel_size=8)
+        exchange = Exchange(build, template, morsels, 3)
+        text = exchange.explain()
+        assert "Exchange(dop=3" in text
+        assert "TableScan" in text
+        collect(exchange)  # template must survive untouched
+        assert collect(template).row_count == 32
+
+
+def run_query(db, sql, planner):
+    statement = parse_statement(sql)
+    logical = Optimizer(db.catalog).optimize(
+        Binder(db.catalog).bind_select(statement)
+    )
+    return planner.plan(logical)
+
+
+def parallel_planner(workers=4, morsel_size=16):
+    return PhysicalPlanner(
+        parallelism=workers, morsel_size=morsel_size, cost_model=FORCE
+    )
+
+
+def serial_planner():
+    return PhysicalPlanner(parallelism=1)
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(42)
+    n = 400
+    values = rng.integers(0, 50, n)
+    nullable = [
+        None if i % 17 == 0 else int(values[i]) for i in range(n)
+    ]
+    database = Database()
+    database.create_table_from_pydict(
+        "t",
+        Schema(
+            [
+                Field("g", DataType.INT64),
+                Field("v", DataType.INT64),
+            ]
+        ),
+        {"g": [int(x) % 7 for x in values], "v": nullable},
+        partition_count=3,
+    )
+    return database
+
+
+def assert_equivalent(db, sql, workers=4, morsel_size=16):
+    parallel_op = run_query(db, sql, parallel_planner(workers, morsel_size))
+    serial_op = run_query(db, sql, serial_planner())
+    parallel = collect(parallel_op)
+    serial = collect(serial_op)
+    assert parallel.to_pylist() == serial.to_pylist(), sql
+    return parallel_op
+
+
+class TestPlannedEquivalence:
+    def test_bare_pipeline_becomes_exchange(self, db):
+        op = assert_equivalent(db, "SELECT v FROM t WHERE v > 10")
+        assert "Exchange(dop=4" in op.explain()
+
+    def test_distinct(self, db):
+        op = assert_equivalent(db, "SELECT DISTINCT g, v FROM t")
+        assert "ParallelDistinct(dop=4" in op.explain()
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT v FROM t ORDER BY v",
+            "SELECT v FROM t ORDER BY v DESC",
+            "SELECT g, v FROM t ORDER BY g, v DESC",
+            "SELECT v FROM t WHERE v < 25 ORDER BY v",
+        ],
+    )
+    def test_sort_with_nulls(self, db, sql):
+        op = assert_equivalent(db, sql)
+        text = op.explain()
+        assert "ParallelSort(" in text and "dop=4" in text
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT COUNT(*) AS n FROM t",
+            "SELECT COUNT(v) AS n FROM t",
+            "SELECT SUM(v) AS s FROM t",
+            "SELECT MIN(v) AS lo, MAX(v) AS hi FROM t",
+            "SELECT AVG(v) AS a FROM t",
+            "SELECT COUNT(*) AS n, SUM(v) AS s, AVG(v) AS a FROM t",
+            "SELECT g, COUNT(*) AS n FROM t GROUP BY g",
+            "SELECT g, SUM(v) AS s, MIN(v) AS lo, AVG(v) AS a "
+            "FROM t GROUP BY g",
+            "SELECT g, COUNT(v) AS n FROM t WHERE v > 5 GROUP BY g",
+        ],
+    )
+    def test_two_phase_aggregates(self, db, sql):
+        op = assert_equivalent(db, sql)
+        text = op.explain()
+        assert "ParallelAggregate(" in text and "dop=4" in text
+
+    def test_count_distinct_alone(self, db):
+        op = assert_equivalent(db, "SELECT COUNT(DISTINCT v) AS n FROM t")
+        text = op.explain()
+        assert "ParallelAggregate(" in text and "dop=4" in text
+        assert "distinct-partials" in text
+
+    def test_count_distinct_grouped(self, db):
+        assert_equivalent(
+            db, "SELECT g, COUNT(DISTINCT v) AS n FROM t GROUP BY g"
+        )
+
+    def test_mixed_count_distinct_uses_exchange_fallback(self, db):
+        sql = "SELECT COUNT(DISTINCT v) AS d, COUNT(*) AS n FROM t"
+        op = assert_equivalent(db, sql)
+        text = op.explain()
+        assert "HashAggregate" in text and "Exchange(dop=4" in text
+        assert "ParallelAggregate" not in text
+
+    def test_avg_all_null_group(self):
+        database = Database()
+        database.create_table_from_pydict(
+            "n",
+            Schema([Field("g", DataType.INT64), Field("v", DataType.INT64)]),
+            {"g": [1, 1, 2, 2] * 10, "v": [None, None, 5, 7] * 10},
+            partition_count=2,
+        )
+        assert_equivalent(
+            database,
+            "SELECT g, AVG(v) AS a, COUNT(v) AS n FROM n GROUP BY g",
+            morsel_size=4,
+        )
+
+    def test_scan_range_pruning_composes(self, db):
+        sql = "SELECT v FROM t WHERE g >= 3"
+        parallel_op = run_query(db, sql, parallel_planner())
+        text = parallel_op.explain()
+        assert "Exchange(dop=4" in text
+        assert_equivalent(db, sql)
+
+    def test_nuc_distinct_rewrite_composes(self):
+        rng = np.random.default_rng(3)
+        values = rng.permutation(300).astype(np.int64)
+        values[rng.choice(300, 20, replace=False)] = 9
+        database = Database()
+        database.create_table_from_pydict(
+            "u",
+            Schema([Field("c", DataType.INT64)]),
+            {"c": [int(v) for v in values]},
+            partition_count=3,
+        )
+        database.create_patch_index("pi", "u", "c", kind="unique")
+        op = assert_equivalent(database, "SELECT DISTINCT c FROM u")
+        text = op.explain()
+        # Both rewrite branches run in parallel over the PatchSelect.
+        assert "PatchSelect(mode=exclude_patches" in text
+        assert "PatchSelect(mode=use_patches" in text
+        assert "dop=4" in text
+
+    def test_parallelism_one_plans_serial(self, db):
+        op = run_query(
+            db,
+            "SELECT DISTINCT v FROM t",
+            PhysicalPlanner(parallelism=1, morsel_size=16, cost_model=FORCE),
+        )
+        assert "dop=" not in op.explain()
+
+    def test_default_cost_model_keeps_small_tables_serial(self, db):
+        op = run_query(
+            db,
+            "SELECT DISTINCT v FROM t",
+            PhysicalPlanner(parallelism=8),
+        )
+        assert "dop=" not in op.explain()
+
+    def test_join_inputs_still_parallelize(self, db):
+        db.create_table_from_pydict(
+            "d",
+            Schema([Field("g", DataType.INT64), Field("name", DataType.INT64)]),
+            {"g": list(range(7)), "name": [x * 10 for x in range(7)]},
+        )
+        sql = (
+            "SELECT t.v, d.name FROM t JOIN d ON t.g = d.g "
+            "WHERE t.v > 20"
+        )
+        op = assert_equivalent(db, sql)
+        assert "Exchange(dop=4" in op.explain()
+
+
+class TestParallelOperatorsDirect:
+    def test_parallel_distinct_matches_serial(self):
+        table = make_table(n=60, partition_count=2, block_size=4)
+
+        def build(ranges):
+            scan = TableScan(table, scan_ranges=ranges, batch_size=8)
+            return scan
+
+        morsels = morsels_for_table(table, None, morsel_size=8)
+        parallel = collect(
+            ParallelDistinct(build, build(None), morsels, 3)
+        )
+        serial = collect(Distinct(build(None)))
+        assert parallel.to_pylist() == serial.to_pylist()
+
+    def test_parallel_sort_matches_serial_stable(self):
+        rng = np.random.default_rng(11)
+        database = Database()
+        database.create_table_from_pydict(
+            "s",
+            Schema([Field("k", DataType.INT64), Field("v", DataType.INT64)]),
+            {
+                "k": [int(x) for x in rng.integers(0, 5, 200)],
+                "v": list(range(200)),
+            },
+            partition_count=3,
+        )
+        table = database.table("s")
+        keys = [SortKey("k")]
+
+        def build(ranges):
+            return TableScan(table, scan_ranges=ranges, batch_size=16)
+
+        morsels = morsels_for_table(table, None, morsel_size=16)
+        parallel = collect(
+            ParallelSort(build, build(None), morsels, 4, keys)
+        )
+        serial = collect(Sort(build(None), keys))
+        # Stability: equal keys keep scan (rowid) order in both plans.
+        assert parallel.to_pylist() == serial.to_pylist()
+
+    def test_parallel_aggregate_empty_input_global(self):
+        table = Table("e", Schema([Field("x", DataType.INT64)]), 1)
+
+        def build(ranges):
+            return TableScan(table, scan_ranges=ranges, batch_size=8)
+
+        specs = [
+            AggregateSpec("count_star", None, "n"),
+            AggregateSpec("sum", "x", "s"),
+        ]
+        parallel = collect(
+            ParallelAggregate(build, build(None), [], 4, [], specs)
+        )
+        serial = collect(HashAggregate(build(None), [], specs))
+        assert parallel.to_pylist() == serial.to_pylist()
+        assert parallel.to_pylist() == [(0, None)]
+
+    def test_mixed_count_distinct_spec_rejected(self):
+        table = make_table(n=16)
+
+        def build(ranges):
+            return TableScan(table, scan_ranges=ranges, batch_size=8)
+
+        specs = [
+            AggregateSpec("count_distinct", "x", "d"),
+            AggregateSpec("sum", "x", "s"),
+        ]
+        with pytest.raises(PlanError):
+            ParallelAggregate(
+                build, build(None), morsels_for_table(table), 2, [], specs
+            )
+
+    def test_batch_source_replays_batches(self):
+        table = make_table(n=24, partition_count=1)
+        scan = TableScan(table, batch_size=8)
+        batches = []
+        scan.open()
+        while True:
+            batch = scan.next_batch()
+            if batch is None:
+                break
+            batches.append(batch)
+        scan.close()
+        replay = collect(BatchSource(scan.schema, batches))
+        assert replay.column("x").to_pylist() == list(range(24))
+
+
+class TestSessionKnob:
+    def test_database_sql_accepts_parallelism(self, db):
+        serial = db.sql("SELECT g, COUNT(*) AS n FROM t GROUP BY g",
+                        parallelism=1)
+        default = db.sql("SELECT g, COUNT(*) AS n FROM t GROUP BY g")
+        assert serial.to_pylist() == default.to_pylist()
+
+    def test_database_explain_accepts_parallelism(self, db):
+        text = db.explain("SELECT DISTINCT v FROM t", parallelism=1)
+        assert "Distinct" in text and "dop=" not in text
+
+    def test_instance_default_threads(self, db):
+        db.parallelism = 1
+        assert "dop=" not in db.explain("SELECT DISTINCT v FROM t")
+
+    def test_large_table_parallelizes_under_default_model(self):
+        n = 400_000
+        database = Database()
+        database.create_table_from_pydict(
+            "big",
+            Schema([Field("x", DataType.INT64)]),
+            {"x": list(range(n))},
+            partition_count=4,
+        )
+        text = database.explain(
+            "SELECT COUNT(*) AS n FROM big", parallelism=4
+        )
+        assert "ParallelAggregate(" in text and "dop=4" in text
+        parallel = database.sql("SELECT COUNT(*) AS n FROM big",
+                                parallelism=4)
+        serial = database.sql("SELECT COUNT(*) AS n FROM big", parallelism=1)
+        assert parallel.to_pylist() == serial.to_pylist() == [(n,)]
+
+
+class TestMorselDataclass:
+    def test_rows_property(self):
+        morsel = Morsel(((0, 4), (8, 10)))
+        assert morsel.rows == 6
+
+    def test_hashable_and_frozen(self):
+        morsel = Morsel(((0, 4),))
+        assert hash(morsel) == hash(Morsel(((0, 4),)))
+        with pytest.raises(Exception):
+            morsel.ranges = ()

@@ -183,3 +183,89 @@ class TestDunder:
         assert 3 in patches
         assert 2 not in patches
         assert "x" not in patches
+
+
+class TestBitmapPatchCountCache:
+    """patch_count() must stay correct across every mutation — the
+    cached popcount must never go stale."""
+
+    def test_from_rowids_seeds_cache(self):
+        patches = BitmapPatches.from_rowids(
+            np.array([1, 5, 9], dtype=np.int64), 16
+        )
+        assert patches._patch_count == 3
+        assert patches.patch_count() == 3
+
+    def test_lazy_recount_after_add(self):
+        patches = BitmapPatches.from_rowids(
+            np.array([1, 5], dtype=np.int64), 16
+        )
+        patches.add(np.array([3, 5, 5], dtype=np.int64))  # 5 re-marked
+        assert patches._patch_count is None  # invalidated, not guessed
+        assert patches.patch_count() == 3  # {1, 3, 5}
+        assert patches._patch_count == 3  # recount now cached
+
+    def test_extend_without_new_patches_keeps_cache(self):
+        patches = BitmapPatches.from_rowids(
+            np.array([0, 7], dtype=np.int64), 8
+        )
+        assert patches.patch_count() == 2
+        patches.extend(24, np.array([], dtype=np.int64))
+        # Zero-padded growth cannot change the popcount.
+        assert patches._patch_count == 2
+        assert patches.patch_count() == 2
+
+    def test_extend_with_new_patches_recounts(self):
+        patches = BitmapPatches.from_rowids(
+            np.array([0, 7], dtype=np.int64), 8
+        )
+        patches.extend(16, np.array([9, 12], dtype=np.int64))
+        assert patches.patch_count() == 4
+
+    def test_remap_after_delete_updates_cache(self):
+        patches = BitmapPatches.from_rowids(
+            np.array([1, 4, 8], dtype=np.int64), 10
+        )
+        patches.remap_after_delete(np.array([4], dtype=np.int64))
+        assert patches._patch_count == 2
+        assert patches.patch_count() == 2
+        assert patches.rowids().tolist() == [1, 7]
+
+    def test_cached_count_matches_identifier_design(self):
+        rowids = np.array([2, 3, 11, 30], dtype=np.int64)
+        identifier, bitmap = both_designs(rowids, 40)
+        for design in (identifier, bitmap):
+            design.add(np.array([5], dtype=np.int64))
+            design.extend(48, np.array([41], dtype=np.int64))
+            design.remap_after_delete(np.array([3, 45], dtype=np.int64))
+        assert bitmap.patch_count() == identifier.patch_count()
+        assert bitmap.rowids().tolist() == identifier.rowids().tolist()
+
+
+class TestIdentifierExtendFastPath:
+    def test_sorted_append_skips_sort(self, monkeypatch):
+        patches = IdentifierPatches(np.array([1, 3], dtype=np.int64), 8)
+
+        def fail_sort(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("np.sort called on presorted input")
+
+        monkeypatch.setattr(np, "sort", fail_sort)
+        patches.extend(16, np.array([9, 12, 15], dtype=np.int64))
+        assert patches.rowids().tolist() == [1, 3, 9, 12, 15]
+        assert patches.row_count == 16
+
+    def test_unsorted_append_still_sorted(self):
+        patches = IdentifierPatches(np.array([1, 3], dtype=np.int64), 8)
+        patches.extend(16, np.array([15, 9, 12], dtype=np.int64))
+        assert patches.rowids().tolist() == [1, 3, 9, 12, 15]
+
+    def test_duplicate_appended_rowids_rejected(self):
+        patches = IdentifierPatches(np.array([1], dtype=np.int64), 8)
+        with pytest.raises(StorageError):
+            patches.extend(16, np.array([9, 9], dtype=np.int64))
+
+    def test_empty_extend_only_grows_row_count(self):
+        patches = IdentifierPatches(np.array([1], dtype=np.int64), 8)
+        patches.extend(20, np.array([], dtype=np.int64))
+        assert patches.row_count == 20
+        assert patches.rowids().tolist() == [1]
