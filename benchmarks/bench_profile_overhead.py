@@ -1,0 +1,125 @@
+"""Profiling overhead: disabled must be (near) free, enabled must be cheap.
+
+The observability layer promises that a query which does not ask for a
+profile executes the same operator bytecode as before the layer existed
+— instrumentation is attached per query, opt-in, as instance
+attributes.  This benchmark checks that promise and records it to
+``BENCH_profile.json``:
+
+- *baseline*: parse → bind → optimize → plan → collect by hand, with
+  no metrics registry in the loop (the pre-observability code path);
+- *disabled*: ``Database.sql(query)`` — the public path with profiling
+  off (statement counters fire, no operator instrumentation);
+- *enabled*: ``Database.sql(query, profile=True)`` — full per-operator
+  timing, PatchSelect counters and cardinality feedback.
+
+Acceptance: disabled overhead vs the baseline stays within 5%.
+
+Run:  PYTHONPATH=src python benchmarks/bench_profile_overhead.py
+
+Knobs: ``REPRO_BENCH_PROFILE_ROWS`` (default 200_000),
+``REPRO_BENCH_PROFILE_REPEATS`` (default 9, best-of).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import measure
+from repro.exec.result import collect
+from repro.plan.optimizer import Optimizer
+from repro.plan.physical import PhysicalPlanner
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_statement
+from repro.storage.column import ColumnVector
+from repro.storage.database import Database
+from repro.storage.schema import Field, Schema
+from repro.types import DataType
+
+ROWS = int(os.environ.get("REPRO_BENCH_PROFILE_ROWS", 200_000))
+REPEATS = int(os.environ.get("REPRO_BENCH_PROFILE_REPEATS", 9))
+DISABLED_BUDGET = 0.05  # acceptance: <= 5% overhead with profiling off
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_profile.json"
+
+QUERY = "SELECT COUNT(DISTINCT c) AS n FROM t WHERE c < {limit}"
+
+
+def build_database(rows: int) -> Database:
+    rng = np.random.default_rng(31)
+    values = rng.permutation(rows).astype(np.int64)
+    duplicates = max(1, rows // 1000)
+    positions = rng.choice(rows, duplicates, replace=False)
+    values[positions] = values[rng.integers(0, rows, duplicates)]
+    database = Database(parallelism=1)  # serial: measure pure overhead
+    table = database.create_table(
+        "t", Schema([Field("c", DataType.INT64)]), partition_count=4
+    )
+    table.load_columns({"c": ColumnVector(DataType.INT64, values)})
+    database.create_patch_index("pi", "t", "c", kind="unique")
+    return database
+
+
+def main() -> int:
+    query = QUERY.format(limit=ROWS // 2)
+    database = build_database(ROWS)
+    print(f"rows={ROWS}  repeats={REPEATS}\n{query}")
+
+    def baseline():
+        statement = parse_statement(query)
+        logical = Optimizer(database.catalog).optimize(
+            Binder(database.catalog).bind_select(statement)
+        )
+        return collect(PhysicalPlanner(parallelism=1).plan(logical))
+
+    def disabled():
+        return database.sql(query)
+
+    def enabled():
+        return database.sql(query, profile=True)
+
+    expected = baseline().scalar()
+    assert disabled().scalar() == expected
+    assert enabled().scalar() == expected
+
+    baseline_run = measure(baseline, repeats=REPEATS, warmup=2)
+    disabled_run = measure(disabled, repeats=REPEATS, warmup=2)
+    enabled_run = measure(enabled, repeats=REPEATS, warmup=2)
+
+    disabled_overhead = disabled_run.seconds / baseline_run.seconds - 1.0
+    enabled_overhead = enabled_run.seconds / baseline_run.seconds - 1.0
+    within_budget = disabled_overhead <= DISABLED_BUDGET
+
+    print(
+        f"baseline          {baseline_run.milliseconds:9.2f} ms\n"
+        f"profiling off     {disabled_run.milliseconds:9.2f} ms "
+        f"({disabled_overhead:+.1%})\n"
+        f"profiling on      {enabled_run.milliseconds:9.2f} ms "
+        f"({enabled_overhead:+.1%})\n"
+        f"disabled budget   {DISABLED_BUDGET:.0%} -> "
+        f"{'OK' if within_budget else 'EXCEEDED'}"
+    )
+
+    payload = {
+        "rows": ROWS,
+        "repeats": REPEATS,
+        "query": query,
+        "baseline_s": baseline_run.seconds,
+        "disabled_s": disabled_run.seconds,
+        "enabled_s": enabled_run.seconds,
+        "disabled_overhead": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+        "disabled_budget": DISABLED_BUDGET,
+        "within_budget": within_budget,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0 if within_budget else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

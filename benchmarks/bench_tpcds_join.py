@@ -19,8 +19,6 @@ from repro.bench.harness import measure
 from repro.bench.reporting import format_table
 from repro.gen.tpcds import load_tpcds
 from repro.plan.optimizer import OptimizerOptions
-from repro.sql.parser import parse_statement
-from repro.sql.session import run_select
 
 from conftest import SALES_ROWS
 
@@ -49,11 +47,10 @@ def tpcds_db() -> Database:
 
 
 def _run(db: Database, use_patches: bool):
-    statement = parse_statement(JOIN_QUERY)
     options = OptimizerOptions(
         use_patch_indexes=use_patches, always_rewrite=use_patches
     )
-    return run_select(db, statement, options)
+    return db.sql(JOIN_QUERY, optimizer_options=options)
 
 
 def test_join_without_patchindex(benchmark, tpcds_db):

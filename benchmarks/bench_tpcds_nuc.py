@@ -19,8 +19,6 @@ from repro.bench.harness import measure
 from repro.bench.reporting import format_table
 from repro.gen.tpcds import TpcdsGenerator
 from repro.plan.optimizer import OptimizerOptions
-from repro.sql.parser import parse_statement
-from repro.sql.session import run_select
 
 from conftest import CUSTOMER_ROWS
 
@@ -43,13 +41,13 @@ def customer_db() -> Database:
 
 
 def _count_distinct(db: Database, column: str, use_patches: bool):
-    statement = parse_statement(
-        f"SELECT COUNT(DISTINCT {column}) AS n FROM customer"
-    )
     options = OptimizerOptions(
         use_patch_indexes=use_patches, always_rewrite=use_patches
     )
-    return run_select(db, statement, options)
+    return db.sql(
+        f"SELECT COUNT(DISTINCT {column}) AS n FROM customer",
+        optimizer_options=options,
+    )
 
 
 @pytest.mark.parametrize("column", ["c_email_address", "c_current_addr_sk"])

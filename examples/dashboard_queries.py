@@ -13,12 +13,11 @@ Run:  python examples/dashboard_queries.py
 
 import numpy as np
 
-from repro import Database, DataType, Field, Schema
+import repro
+from repro import DataType, Field, Schema
 from repro.bench.harness import measure
 from repro.core.advisor import ConstraintAdvisor
 from repro.plan.optimizer import OptimizerOptions
-from repro.sql.parser import parse_statement
-from repro.sql.session import run_select
 from repro.storage.column import ColumnVector
 
 ROWS = 100_000
@@ -34,7 +33,7 @@ def nearly_unique(n: int, duplicate_rate: float, offset: int) -> np.ndarray:
     return values
 
 
-db = Database()
+db = repro.connect()
 schema = Schema(
     [
         Field("invoice_no", DataType.INT64, nullable=False),
@@ -84,11 +83,12 @@ dashboard_queries = [
 
 print(f"{'query':55s} {'plain':>9s} {'patched':>9s}  speedup")
 for query in dashboard_queries:
-    statement = parse_statement(query)
     plain = measure(
-        lambda: run_select(db, statement, OptimizerOptions(use_patch_indexes=False))
+        lambda: db.sql(
+            query, optimizer_options=OptimizerOptions(use_patch_indexes=False)
+        )
     )
-    patched = measure(lambda: run_select(db, statement))
+    patched = measure(lambda: db.sql(query))
     assert sorted(map(str, plain.result.to_pylist())) == sorted(
         map(str, patched.result.to_pylist())
     )

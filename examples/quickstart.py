@@ -8,9 +8,9 @@ rewritten and accelerated while returning exactly the same answer.
 Run:  python examples/quickstart.py
 """
 
-from repro import Database
+import repro
 
-db = Database()
+db = repro.connect()
 
 db.sql("CREATE TABLE orders (order_id BIGINT, amount DOUBLE) PARTITIONS 2")
 
@@ -51,3 +51,12 @@ db.sql("INSERT INTO orders VALUES (1001, 10.5)")
 print("After inserting a duplicate of order 1001:")
 print(f"Patch rowids: {index.rowids().tolist()}")
 print(db.sql(query).pretty())
+print()
+
+# EXPLAIN ANALYZE executes the query and annotates every operator with
+# actual rows, wall time and patch-hit counters next to the estimates.
+print(db.sql(f"EXPLAIN ANALYZE {query}").text())
+print()
+
+print("Engine metrics so far:")
+print(db.metrics().to_text())

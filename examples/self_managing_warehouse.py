@@ -16,20 +16,19 @@ Run:  python examples/self_managing_warehouse.py
 import tempfile
 from pathlib import Path
 
+import repro
 from repro import Database
 from repro.bench.harness import measure
 from repro.core.advisor import ConstraintAdvisor
 from repro.gen.tpcds import TpcdsGenerator, load_tpcds
 from repro.plan.optimizer import OptimizerOptions
-from repro.sql.parser import parse_statement
-from repro.sql.session import run_select
 
 SALES_ROWS = 150_000
 CUSTOMER_ROWS = 40_000
 SEED = 99
 
 wal_path = Path(tempfile.mkdtemp()) / "warehouse.wal"
-db = Database(wal_path)
+db = repro.connect(wal_path)
 load_tpcds(
     db,
     catalog_sales_rows=SALES_ROWS,
@@ -57,11 +56,12 @@ join_query = (
     "SELECT COUNT(*) AS n FROM catalog_sales cs "
     "JOIN date_dim d ON cs.cs_sold_date_sk = d.d_date_sk"
 )
-statement = parse_statement(join_query)
 plain = measure(
-    lambda: run_select(db, statement, OptimizerOptions(use_patch_indexes=False))
+    lambda: db.sql(
+        join_query, optimizer_options=OptimizerOptions(use_patch_indexes=False)
+    )
 )
-patched = measure(lambda: run_select(db, statement))
+patched = measure(lambda: db.sql(join_query))
 assert plain.result.scalar() == patched.result.scalar()
 print(
     f"fact-dim join: {plain.milliseconds:.1f}ms plain -> "

@@ -12,11 +12,10 @@ Run:  python examples/timeseries_sorting.py
 
 import numpy as np
 
-from repro import Database, DataType, Field, Schema
+import repro
+from repro import DataType, Field, Schema
 from repro.bench.harness import measure
 from repro.plan.optimizer import OptimizerOptions
-from repro.sql.parser import parse_statement
-from repro.sql.session import run_select
 from repro.storage.column import ColumnVector
 
 ROWS = 150_000
@@ -38,7 +37,7 @@ battery = np.linspace(100.0, 5.0, ROWS)
 spikes = rng.choice(ROWS, ROWS // 150, replace=False)
 battery[spikes] += rng.uniform(1, 20, len(spikes))  # brief recharges
 
-db = Database()
+db = repro.connect()
 schema = Schema(
     [
         Field("ts", DataType.INT64, nullable=False),
@@ -76,11 +75,12 @@ queries = [
 ]
 print(f"{'query':50s} {'plain':>9s} {'patched':>9s}  speedup")
 for query in queries:
-    statement = parse_statement(query)
     plain = measure(
-        lambda: run_select(db, statement, OptimizerOptions(use_patch_indexes=False))
+        lambda: db.sql(
+            query, optimizer_options=OptimizerOptions(use_patch_indexes=False)
+        )
     )
-    patched = measure(lambda: run_select(db, statement))
+    patched = measure(lambda: db.sql(query))
     name = patched.result.column_names[0]
     assert (
         patched.result.column(name).to_pylist()

@@ -10,14 +10,17 @@ rewrite cost model.
 
 Quick start::
 
-    from repro import Database
+    import repro
 
-    db = Database()
+    db = repro.connect()
     db.sql("CREATE TABLE t (k BIGINT, v BIGINT)")
     db.sql("INSERT INTO t VALUES (1, 10), (2, 20), (2, 30)")
     db.sql("CREATE PATCHINDEX pi_k ON t(k) TYPE UNIQUE")
     print(db.sql("SELECT COUNT(DISTINCT k) AS n FROM t").pretty())
+    print(db.sql("EXPLAIN ANALYZE SELECT DISTINCT k FROM t").text())
 """
+
+import os as _os
 
 from repro.errors import (
     ReproError,
@@ -53,11 +56,29 @@ from repro.core import (
     longest_sorted_subsequence_indices,
 )
 from repro.exec.result import QueryResult
+from repro.obs import CardinalityFeedback, MetricsRegistry, QueryProfile
 
 __version__ = "1.0.0"
 
+
+def connect(
+    wal_path: "str | _os.PathLike | None" = None,
+    *,
+    parallelism: int | None = None,
+) -> Database:
+    """Open a database instance — the canonical entry point.
+
+    *wal_path* enables DDL durability (``Database.recover`` replays it);
+    *parallelism* sets the instance-default degree of parallelism
+    (``None`` resolves ``REPRO_THREADS`` / the CPU count, ``1`` forces
+    serial execution).
+    """
+    return Database(wal_path, parallelism=parallelism)
+
+
 __all__ = [
     "__version__",
+    "connect",
     "ReproError",
     "CatalogError",
     "SchemaError",
@@ -86,4 +107,7 @@ __all__ = [
     "discover_nsc_patches",
     "longest_sorted_subsequence_indices",
     "QueryResult",
+    "QueryProfile",
+    "MetricsRegistry",
+    "CardinalityFeedback",
 ]

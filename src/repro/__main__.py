@@ -1,4 +1,5 @@
-r"""Interactive SQL shell:  ``python -m repro [--threads N] [wal-path]``.
+r"""Interactive SQL shell:
+``python -m repro [--threads N] [--metrics-dump PATH] [wal-path]``.
 
 A minimal REPL over :class:`repro.storage.database.Database` — enough
 to poke at PatchIndexes interactively:
@@ -10,12 +11,15 @@ to poke at PatchIndexes interactively:
     repro> SELECT COUNT(DISTINCT c) AS n FROM t;
     repro> \d            -- describe tables and indexes
     repro> \threads 4    -- set the degree of parallelism (\threads shows it)
-    repro> EXPLAIN SELECT DISTINCT c FROM t;
+    repro> \profile on   -- print a query profile after every statement
+    repro> \metrics      -- dump the instance's metrics registry
+    repro> EXPLAIN ANALYZE SELECT DISTINCT c FROM t;
     repro> \q
 
 Statements may span lines; they execute at the terminating semicolon.
 ``--threads N`` (or the ``REPRO_THREADS`` environment variable) sets
 the morsel-parallel worker count; ``--threads 1`` forces serial plans.
+``--metrics-dump PATH`` writes the metrics registry as JSON on exit.
 """
 
 from __future__ import annotations
@@ -29,7 +33,8 @@ from repro.storage.database import Database
 _BANNER = (
     "repro — PatchIndex reproduction shell. "
     "End statements with ';'.  \\d describes, \\threads sets "
-    "parallelism, \\q quits."
+    "parallelism, \\profile toggles profiling, \\metrics dumps "
+    "metrics, \\q quits."
 )
 
 
@@ -46,6 +51,7 @@ def run_shell(
         print(text, file=out)
 
     emit(_BANNER)
+    profiling = False
     buffer: list[str] = []
     lines = iter(input_stream) if input_stream is not None else None
     while True:
@@ -82,6 +88,20 @@ def run_shell(
                 except ValueError:
                     emit(f"error: \\threads expects an integer, got {argument!r}")
             continue
+        if not buffer and stripped.startswith("\\profile"):
+            argument = stripped[len("\\profile"):].strip().lower()
+            if argument in ("on", "off"):
+                profiling = argument == "on"
+            elif argument:
+                emit(f"error: \\profile expects on/off, got {argument!r}")
+                continue
+            else:
+                profiling = not profiling
+            emit(f"profiling {'on' if profiling else 'off'}")
+            continue
+        if not buffer and stripped == "\\metrics":
+            emit(database.metrics().to_text() or "(no metrics)")
+            continue
         if not stripped and not buffer:
             continue
         buffer.append(line)
@@ -90,8 +110,10 @@ def run_shell(
         statement = "\n".join(buffer)
         buffer = []
         try:
-            result = database.sql(statement)
+            result = database.sql(statement, profile=profiling)
             emit(result.pretty())
+            if profiling and result.profile is not None:
+                emit(result.profile.to_text())
         except ReproError as error:
             emit(f"error: {error}")
 
@@ -99,6 +121,7 @@ def run_shell(
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     threads: int | None = None
+    metrics_dump: str | None = None
     positional: list[str] = []
     position = 0
     while position < len(argv):
@@ -112,6 +135,17 @@ def main(argv: list[str] | None = None) -> int:
         elif argument.startswith("--threads="):
             value = argument.split("=", 1)[1]
             position += 1
+        elif argument == "--metrics-dump":
+            if position + 1 >= len(argv):
+                print("error: --metrics-dump requires a path", file=sys.stderr)
+                return 2
+            metrics_dump = argv[position + 1]
+            position += 2
+            continue
+        elif argument.startswith("--metrics-dump="):
+            metrics_dump = argument.split("=", 1)[1]
+            position += 1
+            continue
         else:
             positional.append(argument)
             position += 1
@@ -122,7 +156,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: --threads expects an integer, got {value!r}", file=sys.stderr)
             return 2
     wal_path = positional[0] if positional else None
-    return run_shell(Database(wal_path, parallelism=threads))
+    database = Database(wal_path, parallelism=threads)
+    code = run_shell(database)
+    if metrics_dump is not None:
+        try:
+            with open(metrics_dump, "w", encoding="utf-8") as handle:
+                handle.write(database.metrics().to_json())
+                handle.write("\n")
+        except OSError as error:
+            print(f"error: cannot write metrics to {metrics_dump!r}: {error}", file=sys.stderr)
+            return 2
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - module entry point

@@ -44,6 +44,10 @@ class AdvisorProposal:
     row_count: int
     recommended_design: str
     estimated_speedup: float
+    #: Measured scan selectivity of the table from profiled queries
+    #: (EWMA, see :class:`repro.obs.feedback.CardinalityFeedback`);
+    #: ``None`` when the workload has not been profiled.
+    observed_selectivity: float | None = None
 
     @property
     def index_name(self) -> str:
@@ -51,11 +55,14 @@ class AdvisorProposal:
         return f"pidx_{self.table_name}_{self.column_name}_{suffix}"
 
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.table_name}.{self.column_name}: {self.kind.value} "
             f"rate={self.exception_rate:.2%} design={self.recommended_design} "
             f"est. speedup {self.estimated_speedup:.2f}x"
         )
+        if self.observed_selectivity is not None:
+            base += f" (observed scan selectivity {self.observed_selectivity:.2%})"
+        return base
 
 
 class ConstraintAdvisor:
@@ -64,14 +71,16 @@ class ConstraintAdvisor:
     def __init__(
         self,
         database: Database,
+        *,
         nuc_threshold: float = 0.1,
         nsc_threshold: float = 0.1,
         sample_rows: int | None = 100_000,
         cost_model: CostModel | None = None,
         min_speedup: float = 1.05,
+        feedback=None,
     ):
         """
-        Parameters
+        Parameters (all keyword-only)
         ----------
         nuc_threshold / nsc_threshold:
             The paper's threshold variables: columns whose exception
@@ -84,6 +93,13 @@ class ConstraintAdvisor:
         min_speedup:
             Proposals whose cost-model speedup estimate for the
             representative query falls below this are dropped.
+        feedback:
+            A :class:`~repro.obs.feedback.CardinalityFeedback` with
+            measured scan selectivities from profiled queries; defaults
+            to the database's own.  Cost-model row counts are scaled by
+            the observed selectivity, so a table the workload reads at
+            2% selectivity is not costed as if queries materialized all
+            of it.
         """
         self.database = database
         self.nuc_threshold = nuc_threshold
@@ -91,6 +107,9 @@ class ConstraintAdvisor:
         self.sample_rows = sample_rows
         self.cost_model = cost_model or CostModel()
         self.min_speedup = min_speedup
+        self.feedback = (
+            feedback if feedback is not None else getattr(database, "feedback", None)
+        )
 
     # -- profiling -------------------------------------------------------
 
@@ -121,15 +140,18 @@ class ConstraintAdvisor:
         rows = table.row_count
         if rows == 0:
             return []
+        effective_rows, selectivity = self._effective_rows(table)
         out: list[AdvisorProposal] = []
         if self._worth_full_scan(table, name, ConstraintKind.UNIQUE):
             result = discover_table_nuc(table, name)
             rate = result.exception_rate
             if rate <= self.nuc_threshold:
-                estimate = self.cost_model.distinct(rows, result.patch_count)
+                estimate = self.cost_model.distinct(
+                    effective_rows, self._scale(result.patch_count, selectivity)
+                )
                 if estimate.speedup >= self.min_speedup:
                     out.append(
-                        self._proposal(table, name, ConstraintKind.UNIQUE, result, estimate.speedup)
+                        self._proposal(table, name, ConstraintKind.UNIQUE, result, estimate.speedup, selectivity)
                     )
         if is_orderable(field.dtype) and self._worth_full_scan(
             table, name, ConstraintKind.SORTED
@@ -137,14 +159,38 @@ class ConstraintAdvisor:
             result = discover_table_nsc(table, name)
             rate = result.exception_rate
             if rate <= self.nsc_threshold:
-                estimate = self.cost_model.sort(rows, result.patch_count)
+                estimate = self.cost_model.sort(
+                    effective_rows, self._scale(result.patch_count, selectivity)
+                )
                 if estimate.speedup >= self.min_speedup:
                     out.append(
-                        self._proposal(table, name, ConstraintKind.SORTED, result, estimate.speedup)
+                        self._proposal(table, name, ConstraintKind.SORTED, result, estimate.speedup, selectivity)
                     )
         return out
 
-    def _proposal(self, table, name, kind, result, speedup) -> AdvisorProposal:
+    def _effective_rows(self, table: Table) -> tuple[int, float | None]:
+        """Cost-model row count scaled by observed scan selectivity.
+
+        With no profiled observations for the table, the full row count
+        is used — exactly the pre-feedback behaviour.
+        """
+        rows = table.row_count
+        if self.feedback is None:
+            return rows, None
+        selectivity = self.feedback.selectivity(table.name)
+        if selectivity is None:
+            return rows, None
+        return max(1, round(rows * selectivity)), selectivity
+
+    @staticmethod
+    def _scale(count: int, selectivity: float | None) -> int:
+        if selectivity is None:
+            return count
+        return min(count, max(0, round(count * selectivity)))
+
+    def _proposal(
+        self, table, name, kind, result, speedup, selectivity=None
+    ) -> AdvisorProposal:
         rate = result.exception_rate
         return AdvisorProposal(
             table_name=table.name,
@@ -155,6 +201,7 @@ class ConstraintAdvisor:
             row_count=result.row_count,
             recommended_design="identifier" if rate <= CROSSOVER_RATE else "bitmap",
             estimated_speedup=speedup,
+            observed_selectivity=selectivity,
         )
 
     def _worth_full_scan(

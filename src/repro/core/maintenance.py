@@ -61,6 +61,7 @@ class MaintenanceStats:
     rows_appended: int = 0
     patches_added: int = 0
     kept_rows_demoted: int = 0
+    invalidations: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -160,6 +161,12 @@ class IndexMaintainer:
         self._last_kept = last_kept
 
     def _invalidate(self) -> None:
+        if (
+            self._kept_value_rowids is not None
+            or self._patch_values is not None
+            or self._last_kept is not None
+        ):
+            self.stats.invalidations += 1
         self._kept_value_rowids = None
         self._patch_values = None
         self._last_kept = None

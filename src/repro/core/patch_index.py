@@ -96,6 +96,7 @@ class PatchIndex:
         self.strict = strict
         self.scope = scope
         self.creation_seconds = creation_seconds
+        self.rebuild_count = 0
         self._partition_patches = partition_patches
         self._maintainer = None  # lazily built by repro.core.maintenance
         self._listener = self._on_table_event
@@ -355,6 +356,7 @@ class PatchIndex:
             )
         ]
         self._maintainer = None
+        self.rebuild_count += 1
 
     def _on_table_event(self, event: str, payload: dict) -> None:
         """Forward table mutations to the incremental maintainer."""

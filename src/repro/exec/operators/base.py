@@ -17,6 +17,11 @@ from repro.storage.schema import Schema
 class Operator(abc.ABC):
     """A physical dataflow operator."""
 
+    #: Optimizer cardinality estimate, stamped by the physical planner
+    #: on plan roots per logical node.  ``None`` when no estimate exists
+    #: (e.g. operators built directly, or worker-side fragments).
+    estimated_rows: int | None = None
+
     @property
     @abc.abstractmethod
     def schema(self) -> Schema:

@@ -37,6 +37,7 @@ computing an offset within the bitmap" (§VI-A3).
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Iterable, Iterator, TYPE_CHECKING
 
 import numpy as np
@@ -56,6 +57,19 @@ class PatchSelectMode(enum.Enum):
 
     USE_PATCHES = "use_patches"
     EXCLUDE_PATCHES = "exclude_patches"
+
+
+@dataclass
+class PatchSelectStats:
+    """Opt-in execution counters for one PatchSelect instance.
+
+    ``patch_hits`` counts tuples that *are* patches regardless of mode —
+    in ``USE_PATCHES`` mode those are the rows passed through, in
+    ``EXCLUDE_PATCHES`` mode the rows filtered out.
+    """
+
+    rows_in: int = 0
+    patch_hits: int = 0
 
 
 class PatchSelect(Operator):
@@ -81,9 +95,19 @@ class PatchSelect(Operator):
         self.child = child
         self.index = index
         self.mode = mode
+        #: Execution counters; ``None`` (the default) skips all
+        #: bookkeeping so unprofiled queries pay a single identity check
+        #: per batch.  Enabled by the profiler via :meth:`enable_stats`.
+        self.stats: PatchSelectStats | None = None
         # Query-build phase: fetch a handle on the patch information once
         # (the paper stores the array/bitmap pointer in operator state).
         self._mask_source = index.mask_for_range
+
+    def enable_stats(self) -> PatchSelectStats:
+        """Turn on per-batch counters (used by EXPLAIN ANALYZE)."""
+        if self.stats is None:
+            self.stats = PatchSelectStats()
+        return self.stats
 
     @property
     def schema(self) -> Schema:
@@ -107,6 +131,9 @@ class PatchSelect(Operator):
                 )
             start, stop = window
             is_patch = self._mask_source(start, stop)
+            if self.stats is not None:
+                self.stats.rows_in += len(batch)
+                self.stats.patch_hits += int(np.count_nonzero(is_patch))
             if self.mode == PatchSelectMode.USE_PATCHES:
                 keep = is_patch
             else:

@@ -101,6 +101,10 @@ class Exchange(Operator):
         self.template = template
         self.morsels = list(morsels)
         self.parallelism = parallelism
+        #: Pool observation hook (duck-typed — the profiler installs a
+        #: ``repro.obs.profile.ParallelObs``).  ``None`` means submit
+        #: directly with zero accounting.
+        self.obs = None
         self._futures: deque[Future] | None = None
         self._pending: deque[RecordBatch] = deque()
 
@@ -116,10 +120,16 @@ class Exchange(Operator):
         # fragments.  All morsels are submitted up front; the pool's
         # worker count bounds actual concurrency.
         pool = get_pool(self.parallelism)
-        self._futures = deque(
-            pool.submit(run_fragment, self.fragment_factory, morsel)
-            for morsel in self.morsels
-        )
+        if self.obs is None:
+            self._futures = deque(
+                pool.submit(run_fragment, self.fragment_factory, morsel)
+                for morsel in self.morsels
+            )
+        else:
+            self._futures = deque(
+                self.obs.submit(pool, self.fragment_factory, morsel)
+                for morsel in self.morsels
+            )
         self._pending = deque()
 
     def next_batch(self) -> RecordBatch | None:

@@ -69,6 +69,8 @@ class _ParallelBlocking(Operator):
         self.template = template
         self.morsels = list(morsels)
         self.parallelism = parallelism
+        #: Pool observation hook (duck-typed, see ``Exchange.obs``).
+        self.obs = None
         self._futures: deque[Future] | None = None
         self._done = False
 
@@ -78,10 +80,16 @@ class _ParallelBlocking(Operator):
     def open(self) -> None:
         pool = get_pool(self.parallelism)
         factory = self._wrapped_factory
-        self._futures = deque(
-            pool.submit(run_fragment, factory, morsel)
-            for morsel in self.morsels
-        )
+        if self.obs is None:
+            self._futures = deque(
+                pool.submit(run_fragment, factory, morsel)
+                for morsel in self.morsels
+            )
+        else:
+            self._futures = deque(
+                self.obs.submit(pool, factory, morsel)
+                for morsel in self.morsels
+            )
         self._done = False
 
     def _wrapped_factory(self, ranges: list[tuple[int, int]]) -> Operator:

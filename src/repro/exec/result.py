@@ -11,7 +11,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.exec.batch import RecordBatch
 from repro.storage.column import ColumnVector
-from repro.storage.schema import Schema
+from repro.storage.schema import Field as SchemaField, Schema
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.operators.base import Operator
@@ -19,6 +19,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class QueryResult:
     """A fully materialized result set with named, typed columns."""
+
+    #: The :class:`~repro.obs.profile.QueryProfile` of the execution when
+    #: the statement ran with ``profile=True`` (EXPLAIN ANALYZE or
+    #: ``Database.sql(..., profile=True)``); ``None`` otherwise.
+    profile = None
 
     def __init__(self, schema: Schema, columns: dict[str, ColumnVector]):
         self.schema = schema
@@ -31,6 +36,20 @@ class QueryResult:
             schema,
             {field.name: ColumnVector.empty(field.dtype) for field in schema},
         )
+
+    @classmethod
+    def message(cls, text: str, column: str = "status") -> "QueryResult":
+        """A 1×1 STRING result (DDL/DML acknowledgements)."""
+        return cls.from_lines(column, [text])
+
+    @classmethod
+    def from_lines(cls, column: str, lines: list[str]) -> "QueryResult":
+        """A single STRING column with one row per line (plan output)."""
+        from repro.types import DataType
+
+        vector = ColumnVector.from_pylist(DataType.STRING, list(lines))
+        schema = Schema([SchemaField(column, DataType.STRING, nullable=False)])
+        return cls(schema, {column: vector})
 
     @classmethod
     def from_batches(
@@ -66,6 +85,29 @@ class QueryResult:
             self.columns[field.name].to_pylist() for field in self.schema
         ]
         return list(zip(*materialized)) if materialized else []
+
+    def rows(self) -> list[tuple[object, ...]]:
+        """Alias of :meth:`to_pylist`: rows as tuples, in result order."""
+        return self.to_pylist()
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """Rows as ``{column: value}`` dicts, in result order."""
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.to_pylist()]
+
+    def text(self) -> str:
+        """A single-STRING-column result joined into one string.
+
+        This is how EXPLAIN / EXPLAIN ANALYZE plans and status messages
+        are read back out of their uniform QueryResult carrier.
+        """
+        if len(self.schema) != 1:
+            raise ValueError(
+                f"text() requires a single-column result, got "
+                f"{len(self.schema)} columns"
+            )
+        name = self.schema.names[0]
+        return "\n".join(str(value) for value in self.columns[name].to_pylist())
 
     def scalar(self) -> object:
         """The single value of a 1×1 result (e.g. a COUNT query)."""

@@ -1,0 +1,31 @@
+"""Observability: metrics registry, query profiles, cardinality feedback.
+
+See DESIGN.md § Observability for the metric-name catalogue and the
+profile tree format.
+"""
+
+from repro.obs.feedback import CardinalityFeedback
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import (
+    ProfileNode,
+    QueryProfile,
+    attach_profile,
+    profile_collect,
+)
+
+__all__ = [
+    "CardinalityFeedback",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProfileNode",
+    "QueryProfile",
+    "attach_profile",
+    "profile_collect",
+]

@@ -1,0 +1,68 @@
+"""Cardinality feedback: measured scan selectivities for the advisor.
+
+Profiled queries record, per table, the ratio of rows surviving the
+scan's Filter/PatchSelect chain to the table's base row count.  The
+:class:`~repro.core.advisor.ConstraintAdvisor` consumes the smoothed
+ratio to scale its cost-model row counts: a table that the workload
+always reads at 2% selectivity should not be costed as if every query
+materialized all of it.
+
+Observations are smoothed with an exponentially weighted moving
+average so one outlier query does not whipsaw the advisor, while a
+genuine workload shift converges within a handful of queries.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: EWMA smoothing factor: the most recent observation contributes 30%.
+DEFAULT_ALPHA = 0.3
+
+
+class CardinalityFeedback:
+    """Per-table observed scan selectivities (EWMA-smoothed)."""
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        self._selectivity: dict[str, float] = {}
+        self._observations: dict[str, int] = {}
+
+    def record_scan(self, table: str, base_rows: int, actual_rows: int) -> None:
+        """Record one profiled scan of *table*."""
+        if base_rows <= 0:
+            return
+        observed = min(1.0, actual_rows / base_rows)
+        with self._lock:
+            previous = self._selectivity.get(table)
+            if previous is None:
+                self._selectivity[table] = observed
+            else:
+                self._selectivity[table] = (
+                    self.alpha * observed + (1.0 - self.alpha) * previous
+                )
+            self._observations[table] = self._observations.get(table, 0) + 1
+
+    def record_profile(self, profile) -> None:
+        """Record every scan observation of a finished QueryProfile."""
+        for table, base_rows, actual_rows in profile.scan_observations():
+            self.record_scan(table, base_rows, actual_rows)
+
+    def selectivity(self, table: str) -> float | None:
+        """Smoothed observed selectivity of *table*, if any."""
+        with self._lock:
+            return self._selectivity.get(table)
+
+    def observations(self, table: str) -> int:
+        with self._lock:
+            return self._observations.get(table, 0)
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._selectivity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CardinalityFeedback(tables={len(self._selectivity)})"

@@ -104,6 +104,14 @@ class PhysicalPlanner:
         self.cost_model = cost_model if cost_model is not None else CostModel()
 
     def plan(self, logical: lp.LogicalPlan) -> Operator:
+        operator = self._plan_node(logical)
+        if operator.estimated_rows is None:
+            # Stamp the optimizer's cardinality estimate so EXPLAIN
+            # ANALYZE can report actual vs. estimated rows per operator.
+            operator.estimated_rows = estimate_rows(logical)
+        return operator
+
+    def _plan_node(self, logical: lp.LogicalPlan) -> Operator:
         parallel = self._try_parallel(logical)
         if parallel is not None:
             return parallel
@@ -111,6 +119,7 @@ class PhysicalPlanner:
             return self._plan_scan(logical)
         if isinstance(logical, lp.LogicalPatchSelect):
             scan = self._plan_scan(logical.child)
+            scan.estimated_rows = estimate_rows(logical.child)
             mode = (
                 PatchSelectMode.USE_PATCHES
                 if logical.use_patches

@@ -224,3 +224,6 @@ class SqlDelete(SqlStatement):
 @dataclass(frozen=True)
 class SqlExplain(SqlStatement):
     query: SqlSelect
+    #: EXPLAIN ANALYZE: execute the query and annotate the plan with
+    #: actual row counts, wall times and PatchSelect counters.
+    analyze: bool = False

@@ -123,7 +123,8 @@ class _Parser:
             return self.select()
         if token.is_keyword("explain"):
             self.advance()
-            return ast.SqlExplain(self.select())
+            analyze = bool(self.accept_keyword("analyze"))
+            return ast.SqlExplain(self.select(), analyze=analyze)
         if token.is_keyword("create"):
             return self._create()
         if token.is_keyword("drop"):

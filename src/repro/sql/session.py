@@ -3,11 +3,24 @@
 This module wires the front end together: parse → (DDL execution | bind
 → optimize → physical plan → collect).  It is invoked through
 :meth:`repro.storage.database.Database.sql` and
-:meth:`~repro.storage.database.Database.explain`.
+:meth:`~repro.storage.database.Database.explain` — those are the public
+entry points; the module-level :func:`execute_sql` / :func:`run_select`
+remain as thin deprecation shims.
+
+Every statement bumps always-on counters in the owning database's
+:class:`~repro.obs.metrics.MetricsRegistry` (statement totals per kind,
+rows returned).  When a statement runs with ``profile=True`` — or as
+``EXPLAIN ANALYZE`` — the operator tree is instrumented with
+:func:`repro.obs.profile.profile_collect`, the resulting
+:class:`~repro.obs.profile.QueryProfile` is attached to the returned
+:class:`~repro.exec.result.QueryResult`, rolled into the registry
+(query latency histogram, PatchSelect and parallel-pool counters) and
+fed to the database's cardinality feedback for the advisor.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -15,13 +28,13 @@ import numpy as np
 from repro.errors import BindError
 from repro.exec.operators.scan import TID_COLUMN
 from repro.exec.result import QueryResult, collect
+from repro.obs.profile import QueryProfile, profile_collect
 from repro.plan.explain import explain_both
 from repro.plan.optimizer import Optimizer, OptimizerOptions
 from repro.plan.physical import PhysicalPlanner
 from repro.sql import ast
 from repro.sql.binder import Binder
 from repro.sql.parser import parse_statement
-from repro.storage.column import ColumnVector
 from repro.storage.schema import Field, Schema
 from repro.types import DataType
 
@@ -29,11 +42,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.database import Database
 
 
-def execute_sql(
+def _execute_statement(
     database: "Database",
     text: str,
+    *,
     optimizer_options: OptimizerOptions | None = None,
     parallelism: int | None = None,
+    profile: bool = False,
 ) -> QueryResult:
     """Execute one SQL statement and return its result.
 
@@ -41,27 +56,59 @@ def execute_sql(
     (e.g. rows inserted); queries return their result set.
     *parallelism* caps the degree of parallelism of the physical plan
     (``None`` resolves ``REPRO_THREADS`` / the CPU count, ``1`` forces
-    serial execution).
+    serial execution).  *profile* instruments the execution and attaches
+    a :class:`~repro.obs.profile.QueryProfile` to the result.
     """
     statement = parse_statement(text)
     if isinstance(statement, ast.SqlSelect):
-        return run_select(database, statement, optimizer_options, parallelism)
+        _count_statement(database, "select")
+        result = _run_select(
+            database,
+            statement,
+            optimizer_options=optimizer_options,
+            parallelism=parallelism,
+            profile=profile,
+            query_text=text,
+        )
+        _count_rows(database, result.row_count)
+        return result
     if isinstance(statement, ast.SqlExplain):
+        _count_statement(
+            database, "explain_analyze" if statement.analyze else "explain"
+        )
+        if statement.analyze:
+            executed = _run_select(
+                database,
+                statement.query,
+                optimizer_options=optimizer_options,
+                parallelism=parallelism,
+                profile=True,
+                query_text=text,
+            )
+            assert executed.profile is not None
+            result = QueryResult.from_lines(
+                "plan", executed.profile.to_text().splitlines()
+            )
+            result.profile = executed.profile
+            return result
         rendered = explain_select(
             database, statement.query, optimizer_options, parallelism
         )
-        return _message_result("plan", rendered)
+        return QueryResult.from_lines("plan", rendered.splitlines())
     if isinstance(statement, ast.SqlCreateTable):
+        _count_statement(database, "ddl")
         schema = Schema(
             Field(column.name, DataType.from_name(column.type_name), column.nullable)
             for column in statement.columns
         )
         database.create_table(statement.name, schema, statement.partitions)
-        return _message_result("status", f"table {statement.name} created")
+        return QueryResult.message(f"table {statement.name} created")
     if isinstance(statement, ast.SqlDropTable):
+        _count_statement(database, "ddl")
         database.drop_table(statement.name)
-        return _message_result("status", f"table {statement.name} dropped")
+        return QueryResult.message(f"table {statement.name} dropped")
     if isinstance(statement, ast.SqlCreatePatchIndex):
+        _count_statement(database, "ddl")
         index = database.create_patch_index(
             statement.name,
             statement.table,
@@ -72,16 +119,19 @@ def execute_sql(
             scope=statement.scope,
             ascending=statement.ascending,
         )
-        return _message_result("status", index.describe())
+        return QueryResult.message(index.describe())
     if isinstance(statement, ast.SqlDropPatchIndex):
+        _count_statement(database, "ddl")
         database.drop_patch_index(statement.name)
-        return _message_result("status", f"patchindex {statement.name} dropped")
+        return QueryResult.message(f"patchindex {statement.name} dropped")
     if isinstance(statement, ast.SqlInsert):
+        _count_statement(database, "insert")
         inserted = _run_insert(database, statement)
-        return _message_result("status", f"{inserted} rows inserted")
+        return QueryResult.message(f"{inserted} rows inserted")
     if isinstance(statement, ast.SqlDelete):
+        _count_statement(database, "delete")
         deleted = _run_delete(database, statement, optimizer_options, parallelism)
-        return _message_result("status", f"{deleted} rows deleted")
+        return QueryResult.message(f"{deleted} rows deleted")
     raise BindError(f"unsupported statement type: {type(statement).__name__}")
 
 
@@ -90,26 +140,53 @@ def explain_sql(
     text: str,
     optimizer_options: OptimizerOptions | None = None,
     parallelism: int | None = None,
+    *,
+    analyze: bool = False,
 ) -> str:
-    """Return the optimized logical + physical plan of a query."""
+    """Return the plan of a query as indented text.
+
+    With ``analyze=True`` (or when *text* itself is an ``EXPLAIN
+    ANALYZE``) the query is executed and the rendering is the profiled
+    plan with actual row counts and timings.
+    """
     statement = parse_statement(text)
     if isinstance(statement, ast.SqlExplain):
+        analyze = analyze or statement.analyze
         statement = statement.query
     if not isinstance(statement, ast.SqlSelect):
         raise BindError("EXPLAIN supports SELECT statements only")
+    if analyze:
+        result = _run_select(
+            database,
+            statement,
+            optimizer_options=optimizer_options,
+            parallelism=parallelism,
+            profile=True,
+            query_text=text,
+        )
+        assert result.profile is not None
+        return result.profile.to_text()
     return explain_select(database, statement, optimizer_options, parallelism)
 
 
-def run_select(
+def _run_select(
     database: "Database",
     select: ast.SqlSelect,
+    *,
     optimizer_options: OptimizerOptions | None = None,
     parallelism: int | None = None,
+    profile: bool = False,
+    query_text: str | None = None,
 ) -> QueryResult:
     logical = Binder(database.catalog).bind_select(select)
     optimized = Optimizer(database.catalog, optimizer_options).optimize(logical)
     operator = PhysicalPlanner(parallelism=parallelism).plan(optimized)
-    return collect(operator)
+    if not profile:
+        return collect(operator)
+    result, query_profile = profile_collect(operator, query_text)
+    result.profile = query_profile
+    _record_profile(database, query_profile)
+    return result
 
 
 def explain_select(
@@ -122,6 +199,103 @@ def explain_select(
     optimized = Optimizer(database.catalog, optimizer_options).optimize(logical)
     operator = PhysicalPlanner(parallelism=parallelism).plan(optimized)
     return explain_both(optimized, operator)
+
+
+# -- observability plumbing ----------------------------------------------------
+
+
+def _count_statement(database: "Database", kind: str) -> None:
+    obs = getattr(database, "obs", None)
+    if obs is not None:
+        obs.counter("statements").inc()
+        obs.counter(f"statements.{kind}").inc()
+
+
+def _count_rows(database: "Database", rows: int) -> None:
+    obs = getattr(database, "obs", None)
+    if obs is not None:
+        obs.counter("query.rows_returned").inc(rows)
+
+
+def _record_profile(database: "Database", profile: QueryProfile) -> None:
+    """Roll one finished profile into the registry and the feedback."""
+    obs = getattr(database, "obs", None)
+    if obs is not None:
+        obs.counter("query.profiled").inc()
+        obs.histogram("query.seconds").observe(profile.total_seconds)
+        for node in profile.find("PatchSelect"):
+            obs.counter("patchselect.rows_in").inc(
+                int(node.details.get("rows_in", 0))
+            )
+            obs.counter("patchselect.patch_hits").inc(
+                int(node.details.get("patch_hits", 0))
+            )
+        for node in profile.root.walk():
+            if "dop_used" not in node.details:
+                continue
+            obs.counter("parallel.morsels_total").inc(
+                int(node.details.get("morsels_run", 0))
+            )
+            obs.counter("parallel.queue_wait_seconds").inc(
+                float(node.details.get("queue_wait_s", 0.0))
+            )
+            obs.counter("parallel.busy_seconds").inc(
+                float(node.details.get("busy_s", 0.0))
+            )
+            obs.gauge("parallel.last_dop_used").set(
+                int(node.details.get("dop_used", 0))
+            )
+    feedback = getattr(database, "feedback", None)
+    if feedback is not None:
+        feedback.record_profile(profile)
+
+
+# -- deprecated module-level entry points --------------------------------------
+
+
+def execute_sql(
+    database: "Database",
+    text: str,
+    optimizer_options: OptimizerOptions | None = None,
+    parallelism: int | None = None,
+) -> QueryResult:
+    """Deprecated: use :meth:`repro.storage.database.Database.sql`."""
+    warnings.warn(
+        "execute_sql() is deprecated; use Database.sql(text, "
+        "optimizer_options=..., parallelism=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _execute_statement(
+        database,
+        text,
+        optimizer_options=optimizer_options,
+        parallelism=parallelism,
+    )
+
+
+def run_select(
+    database: "Database",
+    select: ast.SqlSelect,
+    optimizer_options: OptimizerOptions | None = None,
+    parallelism: int | None = None,
+) -> QueryResult:
+    """Deprecated: use :meth:`repro.storage.database.Database.sql`."""
+    warnings.warn(
+        "run_select() is deprecated; use Database.sql(text, "
+        "optimizer_options=..., parallelism=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_select(
+        database,
+        select,
+        optimizer_options=optimizer_options,
+        parallelism=parallelism,
+    )
+
+
+# -- DML ----------------------------------------------------------------------
 
 
 def _run_insert(database: "Database", statement: ast.SqlInsert) -> int:
@@ -167,14 +341,11 @@ def _run_delete(
         from_table=ast.SqlNamedTable(statement.table),
         where=statement.where,
     )
-    result = run_select(database, select, optimizer_options, parallelism)
+    result = _run_select(
+        database,
+        select,
+        optimizer_options=optimizer_options,
+        parallelism=parallelism,
+    )
     rowids = [value for value in result.column(TID_COLUMN).to_pylist()]
     return table.delete_rowids(np.asarray(rowids, dtype=np.int64))
-
-
-def _message_result(column: str, message: str) -> QueryResult:
-    vector = ColumnVector.from_pylist(DataType.STRING, [message])
-    return QueryResult(
-        Schema([Field(column, DataType.STRING, nullable=False)]),
-        {column: vector},
-    )

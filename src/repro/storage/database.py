@@ -29,6 +29,7 @@ from repro.types import DataType
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.patch_index import PatchIndex
     from repro.exec.result import QueryResult
+    from repro.obs.metrics import MetricsRegistry
 
 DataLoader = Callable[[Table], None]
 
@@ -66,6 +67,7 @@ class Database:
     def __init__(
         self,
         wal_path: str | os.PathLike | None = None,
+        *,
         parallelism: int | None = None,
     ):
         self.catalog = Catalog()
@@ -74,6 +76,28 @@ class Database:
         #: instance; ``None`` lets the planner resolve ``REPRO_THREADS``
         #: / the CPU count, ``1`` forces serial plans.
         self.parallelism = parallelism
+        self._init_observability()
+
+    def _init_observability(self) -> None:
+        from repro.obs import CardinalityFeedback, MetricsRegistry
+
+        #: Instance-wide metrics registry (see :meth:`metrics`).
+        self.obs = MetricsRegistry()
+        #: Observed scan selectivities from profiled queries; the
+        #: advisor consumes this (see repro.obs.feedback).
+        self.feedback = CardinalityFeedback()
+
+    def _on_table_event(self, event: str, payload: dict) -> None:
+        """Always-on maintenance counters (table mutation events)."""
+        if event == "append":
+            self.obs.counter("maintenance.appends").inc()
+            self.obs.counter("maintenance.rows_appended").inc(
+                int(payload.get("row_count", 0))
+            )
+        elif event == "delete":
+            self.obs.counter("maintenance.deletes").inc()
+        elif event == "update":
+            self.obs.counter("maintenance.updates").inc()
 
     # -- table DDL ----------------------------------------------------------
 
@@ -87,6 +111,7 @@ class Database:
         """Create an empty table and log the DDL."""
         kwargs = {} if block_size is None else {"block_size": block_size}
         table = Table(name, schema, partition_count, **kwargs)
+        table.add_listener(self._on_table_event)
         self.catalog.add_table(table)
         self.wal.append(
             "create_table",
@@ -129,6 +154,7 @@ class Database:
         table_name: str,
         column_name: str,
         kind: str,
+        *,
         mode: str = "auto",
         threshold: float = 1.0,
         scope: str = "global",
@@ -185,26 +211,102 @@ class Database:
 
     # -- SQL entry point ----------------------------------------------------------
 
-    def sql(self, text: str, parallelism: int | None = None) -> "QueryResult":
+    def sql(
+        self,
+        text: str,
+        *,
+        parallelism: int | None = None,
+        profile: bool = False,
+        optimizer_options=None,
+    ) -> "QueryResult":
         """Parse, bind, optimize and execute a SQL statement.
 
-        DDL statements return an empty result; queries return a
-        :class:`~repro.exec.result.QueryResult` with named columns.
-        *parallelism* overrides the instance default for this statement.
+        DDL and DML statements return a 1×1 status result; queries
+        return a :class:`~repro.exec.result.QueryResult` with named
+        columns.  All knobs are keyword-only: *parallelism* overrides
+        the instance default for this statement, *profile* instruments
+        the execution and attaches a ``QueryProfile`` to the result
+        (``result.profile``), and *optimizer_options* passes a
+        :class:`~repro.plan.optimizer.OptimizerOptions` through to the
+        optimizer (e.g. to disable PatchIndex rewrites).
         """
         # Imported lazily to avoid a package import cycle
         # (storage → sql → plan → storage).
-        from repro.sql.session import execute_sql
+        from repro.sql.session import _execute_statement
 
         effective = parallelism if parallelism is not None else self.parallelism
-        return execute_sql(self, text, parallelism=effective)
+        return _execute_statement(
+            self,
+            text,
+            optimizer_options=optimizer_options,
+            parallelism=effective,
+            profile=profile,
+        )
 
-    def explain(self, text: str, parallelism: int | None = None) -> str:
-        """Return the optimized plan of a SQL query as indented text."""
+    def explain(
+        self,
+        text: str,
+        *,
+        parallelism: int | None = None,
+        analyze: bool = False,
+        optimizer_options=None,
+    ) -> str:
+        """Return the plan of a SQL query as indented text.
+
+        ``analyze=True`` executes the query and annotates the plan with
+        actual row counts, wall times and PatchSelect counters
+        (equivalent to ``EXPLAIN ANALYZE <query>``).
+        """
         from repro.sql.session import explain_sql
 
         effective = parallelism if parallelism is not None else self.parallelism
-        return explain_sql(self, text, parallelism=effective)
+        return explain_sql(
+            self,
+            text,
+            optimizer_options=optimizer_options,
+            parallelism=effective,
+            analyze=analyze,
+        )
+
+    # -- observability -----------------------------------------------------------
+
+    def metrics(self, *, refresh: bool = True) -> "MetricsRegistry":
+        """The instance's metrics registry.
+
+        With ``refresh=True`` (the default) the PatchIndex health and
+        maintenance gauges are recomputed first: per index,
+        ``patchindex.<name>.patch_count`` / ``.patch_ratio`` (exception
+        rate vs. the paper's 1/64 design crossover, exported as
+        ``.ratio_vs_crossover``) / ``.rebuilds`` / ``.drift_rate``, plus
+        the aggregated maintenance drift counters.
+        """
+        if refresh:
+            self._refresh_health_gauges()
+        return self.obs
+
+    def _refresh_health_gauges(self) -> None:
+        from repro.core.patches import CROSSOVER_RATE
+
+        for table_name in self.catalog.table_names():
+            for index in self.catalog.indexes_on(table_name):
+                prefix = f"patchindex.{index.name}"
+                self.obs.gauge(f"{prefix}.patch_count").set(index.patch_count)
+                self.obs.gauge(f"{prefix}.patch_ratio").set(
+                    index.exception_rate
+                )
+                self.obs.gauge(f"{prefix}.ratio_vs_crossover").set(
+                    index.exception_rate / CROSSOVER_RATE
+                )
+                self.obs.gauge(f"{prefix}.rebuilds").set(index.rebuild_count)
+                self.obs.gauge(f"{prefix}.drift_rate").set(index.drift_rate())
+                stats = index.maintenance_stats()
+                if stats is not None:
+                    self.obs.gauge(f"{prefix}.patches_added").set(
+                        stats.patches_added
+                    )
+                    self.obs.gauge(f"{prefix}.invalidations").set(
+                        stats.invalidations
+                    )
 
     # -- recovery -------------------------------------------------------------
 
@@ -225,6 +327,7 @@ class Database:
         database.catalog = Catalog()
         database.wal = WriteAheadLog(wal_path)
         database.parallelism = None
+        database._init_observability()
         loaders = dict(data_loaders or {})
         for record in database.wal.live_records():
             if record.kind == "create_table":
@@ -234,6 +337,7 @@ class Database:
                     payload_to_schema(payload["schema"]),
                     int(payload.get("partition_count", 1)),
                 )
+                table.add_listener(database._on_table_event)
                 database.catalog.add_table(table)
                 loader = loaders.get(table.name)
                 if loader is not None:

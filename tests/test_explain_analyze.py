@@ -1,0 +1,207 @@
+"""EXPLAIN ANALYZE and query profiles: actuals, details, feedback."""
+
+import numpy as np
+import pytest
+
+from repro import Database, QueryProfile
+from repro.core.advisor import ConstraintAdvisor
+from repro.core.cost_model import CostModel
+from repro.exec.result import collect
+from repro.obs import CardinalityFeedback
+from repro.obs.profile import profile_collect
+from repro.plan.optimizer import Optimizer, OptimizerOptions
+from repro.plan.physical import PhysicalPlanner
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def db() -> Database:
+    """Five rows, two of which are NUC patches on c (3 and the second 6)."""
+    db = Database()
+    db.sql("CREATE TABLE t (c BIGINT, v BIGINT)")
+    db.sql("INSERT INTO t VALUES (1, 10), (3, 20), (3, 30), (6, 40), (6, 50)")
+    db.sql("CREATE PATCHINDEX pi ON t(c) TYPE UNIQUE")
+    return db
+
+
+@pytest.fixture
+def sorted_db() -> Database:
+    """Nearly sorted 500-row column: the sort rewrite passes the cost
+    model, so its plan carries *both* PatchSelect modes (MergeUnion of
+    an exclude_patches scan and a use_patches sort)."""
+    db = Database()
+    db.sql("CREATE TABLE big (c BIGINT)")
+    rows = ", ".join(f"({i})" for i in range(500))
+    db.sql(f"INSERT INTO big VALUES {rows}")
+    db.sql("INSERT INTO big VALUES (3)")
+    db.sql("CREATE PATCHINDEX ps ON big(c) TYPE SORTED")
+    return db
+
+
+class TestExplainAnalyzeStatement:
+    def test_returns_plan_rows_with_actuals(self, db):
+        result = db.sql("EXPLAIN ANALYZE SELECT c FROM t WHERE c > 1")
+        assert result.column_names == ("plan",)
+        text = result.text()
+        assert "== query profile ==" in text
+        assert "actual rows=" in text
+        assert "time=" in text
+        assert isinstance(result.profile, QueryProfile)
+
+    def test_actual_vs_estimated_cardinalities(self, db):
+        text = db.sql("EXPLAIN ANALYZE SELECT c FROM t").text()
+        # The scan sees all five rows, and the planner estimated them.
+        assert "est~5" in text
+        assert "actual rows=5" in text
+
+    def test_exclude_patches_details(self, db):
+        result = db.sql("EXPLAIN ANALYZE SELECT COUNT(DISTINCT c) AS n FROM t")
+        text = result.text()
+        assert "mode=exclude_patches" in text
+        assert "index=pi" in text
+        assert "design=" in text
+        nodes = result.profile.find("PatchSelect")
+        assert nodes
+        exclude = [
+            n for n in nodes if n.details["mode"] == "exclude_patches"
+        ][0]
+        # Four patch tuples (both 3s and both 6s) out of 5 rows in.
+        assert exclude.details["rows_in"] == 5
+        assert exclude.details["patch_hits"] == 4
+        assert exclude.rows == 1
+
+    def test_both_modes_in_sort_rewrite(self, sorted_db):
+        result = sorted_db.sql("EXPLAIN ANALYZE SELECT c FROM big ORDER BY c")
+        text = result.text()
+        assert "mode=exclude_patches" in text
+        assert "mode=use_patches" in text
+        assert "patch_hits=" in text
+        modes = {
+            node.details["mode"]
+            for node in result.profile.find("PatchSelect")
+        }
+        assert modes == {"exclude_patches", "use_patches"}
+        # Both branches partition the same scan: rows out sum to the table.
+        assert (
+            sum(n.rows for n in result.profile.find("PatchSelect")) == 501
+        )
+
+    def test_explain_without_analyze_has_no_actuals(self, db):
+        result = db.sql("EXPLAIN SELECT c FROM t")
+        assert "actual rows=" not in result.text()
+        assert result.profile is None
+
+    def test_explain_method_analyze_keyword(self, db):
+        text = db.explain("SELECT c FROM t WHERE c > 3", analyze=True)
+        assert "== query profile ==" in text
+        assert "actual rows=2" in text
+
+
+class TestProfileFlag:
+    def test_profile_attaches_query_profile(self, db):
+        result = db.sql("SELECT c FROM t WHERE c > 1", profile=True)
+        assert isinstance(result.profile, QueryProfile)
+        assert result.profile.total_seconds > 0
+        scans = result.profile.find("TableScan")
+        assert scans and scans[0].details["table"] == "t"
+        assert scans[0].details["table_rows"] == 5
+
+    def test_profile_off_by_default(self, db):
+        assert db.sql("SELECT c FROM t").profile is None
+
+    def test_profiled_results_match_unprofiled(self, sorted_db):
+        query = "SELECT c FROM big ORDER BY c"
+        plain = sorted_db.sql(query)
+        profiled = sorted_db.sql(query, profile=True)
+        assert plain.to_pylist() == profiled.to_pylist()
+
+    def test_scan_observations(self, db):
+        result = db.sql("SELECT c FROM t WHERE c >= 6", profile=True)
+        observations = result.profile.scan_observations()
+        assert observations == [("t", 5, 2)]
+
+
+class TestParallelProfile:
+    def test_parallel_operator_details(self):
+        from repro.storage.schema import Field, Schema
+        from repro.types import DataType
+
+        db = Database()
+        db.create_table_from_pydict(
+            "p",
+            Schema([Field("c", DataType.INT64)]),
+            {"c": list(range(400))},
+            partition_count=3,
+        )
+        force = CostModel(
+            parallel_startup_weight=0.0, morsel_dispatch_weight=0.0
+        )
+        planner = PhysicalPlanner(
+            parallelism=4, morsel_size=16, cost_model=force
+        )
+
+        def plan(sql):
+            statement = parse_statement(sql)
+            logical = Optimizer(db.catalog).optimize(
+                Binder(db.catalog).bind_select(statement)
+            )
+            return planner.plan(logical)
+
+        sql = "SELECT c FROM p WHERE c > 100"
+        operator = plan(sql)
+        assert "dop=" in operator.explain()
+        result, profile = profile_collect(operator, sql)
+        assert result.to_pylist() == collect(plan(sql)).to_pylist()
+
+        [node] = [
+            n for n in profile.root.walk() if "dop_used" in n.details
+        ]
+        assert node.details["dop"] == 4
+        assert 1 <= node.details["dop_used"] <= 4
+        assert node.details["morsels_run"] == node.details["morsels"] > 1
+        assert node.details["queue_wait_s"] >= 0.0
+        assert node.details["busy_s"] > 0.0
+        # Worker fragment actuals were merged into the template subtree.
+        template = node.children[0]
+        assert sum(n.rows for n in template.walk()) > 0
+
+
+class TestCardinalityFeedback:
+    def test_ewma_smoothing(self):
+        feedback = CardinalityFeedback(alpha=0.3)
+        feedback.record_scan("t", 100, 60)
+        feedback.record_scan("t", 100, 40)
+        feedback.record_scan("t", 100, 80)
+        expected = 0.3 * 0.8 + 0.7 * (0.3 * 0.4 + 0.7 * 0.6)
+        assert feedback.selectivity("t") == pytest.approx(expected)
+        assert feedback.observations("t") == 3
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            CardinalityFeedback(alpha=0.0)
+
+    def test_profiled_queries_feed_database_feedback(self, db):
+        assert db.feedback.selectivity("t") is None
+        db.sql("SELECT c FROM t WHERE c >= 6", profile=True)
+        assert db.feedback.selectivity("t") == pytest.approx(0.4)
+
+    def test_advisor_consumes_observed_selectivity(self):
+        rng = np.random.default_rng(5)
+        n = 2000
+        values = rng.permutation(n).astype(np.int64)
+        values[rng.choice(n, 10, replace=False)] = 7
+        db = Database()
+        db.sql("CREATE TABLE w (u BIGINT)")
+        rows = ", ".join(f"({int(v)})" for v in values)
+        db.sql(f"INSERT INTO w VALUES {rows}")
+        db.sql("SELECT u FROM w WHERE u < 200", profile=True)
+        assert db.feedback.selectivity("w") is not None
+
+        advisor = ConstraintAdvisor(db, nuc_threshold=0.05)
+        proposals = advisor.analyze_all()
+        assert proposals
+        assert proposals[0].observed_selectivity == pytest.approx(
+            db.feedback.selectivity("w")
+        )
+        assert "observed scan selectivity" in proposals[0].describe()

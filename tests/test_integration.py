@@ -14,7 +14,6 @@ from repro.core.advisor import ConstraintAdvisor
 from repro.gen.synthetic import synthetic_table
 from repro.gen.tpcds import TpcdsGenerator, load_tpcds
 from repro.plan.optimizer import OptimizerOptions
-from repro.sql.session import execute_sql
 
 
 class TestAdvisorToQueryPipeline:
@@ -62,24 +61,16 @@ class TestTpcdsWorkload:
             "ON cs.cs_sold_date_sk = d.d_date_sk"
         )
         with_index = db.sql(query)
-        from repro.sql.parser import parse_statement
-        from repro.sql.session import run_select
-
-        statement = parse_statement(query)
-        without_index = run_select(
-            db, statement, OptimizerOptions(use_patch_indexes=False)
+        without_index = db.sql(
+            query, optimizer_options=OptimizerOptions(use_patch_indexes=False)
         )
         assert with_index.to_pylist() == without_index.to_pylist()
         assert "MergeJoin" in db.explain(query)
 
     def test_count_distinct_rewrite_correctness(self, db):
         query = "SELECT COUNT(DISTINCT c_email_address) AS n FROM customer"
-        from repro.sql.parser import parse_statement
-        from repro.sql.session import run_select
-
-        statement = parse_statement(query)
-        baseline = run_select(
-            db, statement, OptimizerOptions(use_patch_indexes=False)
+        baseline = db.sql(
+            query, optimizer_options=OptimizerOptions(use_patch_indexes=False)
         )
         assert db.sql(query).scalar() == baseline.scalar()
 

@@ -1,0 +1,127 @@
+"""Public API surface: connect(), QueryResult ergonomics, deprecations."""
+
+import pytest
+
+import repro
+from repro import Database
+from repro.exec.result import QueryResult
+from repro.sql.parser import parse_statement
+from repro.sql.session import execute_sql, run_select
+
+
+@pytest.fixture
+def db() -> Database:
+    db = repro.connect()
+    db.sql("CREATE TABLE t (c BIGINT, v VARCHAR(5))")
+    db.sql("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+    return db
+
+
+class TestConnect:
+    def test_connect_returns_database(self):
+        assert isinstance(repro.connect(), Database)
+
+    def test_connect_with_wal(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        db = repro.connect(wal)
+        db.sql("CREATE TABLE t (c BIGINT)")
+        assert wal.exists()
+
+    def test_parallelism_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            repro.connect(None, 4)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_symbols_exported(self):
+        for name in (
+            "connect",
+            "Database",
+            "QueryProfile",
+            "MetricsRegistry",
+            "CardinalityFeedback",
+        ):
+            assert name in repro.__all__
+
+
+class TestKeywordOnlyKnobs:
+    def test_sql_rejects_positional_knobs(self, db):
+        with pytest.raises(TypeError):
+            db.sql("SELECT c FROM t", 1)
+
+    def test_explain_rejects_positional_knobs(self, db):
+        with pytest.raises(TypeError):
+            db.explain("SELECT c FROM t", True)
+
+    def test_sql_accepts_keyword_knobs(self, db):
+        result = db.sql("SELECT c FROM t", parallelism=1, profile=True)
+        assert result.row_count == 3
+        assert result.profile is not None
+
+
+class TestDeprecatedShims:
+    def test_execute_sql_warns_and_works(self, db):
+        with pytest.warns(DeprecationWarning, match="Database.sql"):
+            result = execute_sql(db, "SELECT c FROM t")
+        assert result.row_count == 3
+
+    def test_run_select_warns_and_works(self, db):
+        statement = parse_statement("SELECT v FROM t WHERE c = 2")
+        with pytest.warns(DeprecationWarning, match="Database.sql"):
+            result = run_select(db, statement)
+        assert result.column("v").to_pylist() == ["b"]
+
+
+class TestQueryResultErgonomics:
+    def test_iter_and_len(self, db):
+        result = db.sql("SELECT c, v FROM t")
+        assert len(result) == 3
+        assert list(result) == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_rows_alias(self, db):
+        result = db.sql("SELECT c FROM t WHERE c > 1")
+        assert result.rows() == result.to_pylist() == [(2,), (3,)]
+
+    def test_column_by_name(self, db):
+        result = db.sql("SELECT c, v FROM t")
+        assert result.column("v").to_pylist() == ["a", "b", "c"]
+
+    def test_to_dicts(self, db):
+        result = db.sql("SELECT c, v FROM t WHERE c < 3")
+        assert result.to_dicts() == [
+            {"c": 1, "v": "a"},
+            {"c": 2, "v": "b"},
+        ]
+
+    def test_text_joins_single_column(self, db):
+        result = db.sql("SELECT v FROM t")
+        assert result.text() == "a\nb\nc"
+
+    def test_text_rejects_multiple_columns(self, db):
+        with pytest.raises(ValueError):
+            db.sql("SELECT c, v FROM t").text()
+
+    def test_message_result(self):
+        result = QueryResult.message("3 rows inserted")
+        assert result.column_names == ("status",)
+        assert result.scalar() == "3 rows inserted"
+
+    def test_from_lines(self):
+        result = QueryResult.from_lines("plan", ["a", "b"])
+        assert result.column("plan").to_pylist() == ["a", "b"]
+        assert result.text() == "a\nb"
+
+    def test_ddl_and_dml_return_query_results(self, db):
+        created = db.sql("CREATE TABLE u (x BIGINT)")
+        assert isinstance(created, QueryResult)
+        assert "created" in created.scalar()
+        inserted = db.sql("INSERT INTO u VALUES (1)")
+        assert "1 rows inserted" in inserted.scalar()
+
+    def test_explain_returns_query_result(self, db):
+        result = db.sql("EXPLAIN SELECT c FROM t")
+        assert isinstance(result, QueryResult)
+        assert result.column_names == ("plan",)
+        assert len(result) > 1

@@ -11,8 +11,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro import Database
 from repro.plan.optimizer import OptimizerOptions
-from repro.sql.parser import parse_statement
-from repro.sql.session import run_select
 
 _DB_CACHE: list[Database] = []
 
@@ -112,12 +110,11 @@ class TestFuzz:
     @settings(max_examples=150, deadline=None)
     def test_rewrites_preserve_semantics(self, query):
         db = fuzz_db()
-        statement = parse_statement(query)
-        plain = run_select(
-            db, statement, OptimizerOptions(use_patch_indexes=False)
+        plain = db.sql(
+            query, optimizer_options=OptimizerOptions(use_patch_indexes=False)
         )
-        patched = run_select(
-            db, statement, OptimizerOptions(always_rewrite=True)
+        patched = db.sql(
+            query, optimizer_options=OptimizerOptions(always_rewrite=True)
         )
         assert sorted(map(str, plain.to_pylist())) == sorted(
             map(str, patched.to_pylist())

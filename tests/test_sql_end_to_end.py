@@ -188,7 +188,8 @@ class TestDml:
 class TestExplain:
     def test_explain_statement(self, db):
         result = db.sql("EXPLAIN SELECT c FROM tab WHERE c > 1")
-        assert "logical plan" in result.scalar()
+        assert result.column_names == ("plan",)
+        assert "logical plan" in result.text()
 
     def test_explain_shows_rewrite(self):
         # A low exception rate, so the cost model accepts the rewrite.
