@@ -64,16 +64,28 @@ __version__ = "1.0.0"
 def connect(
     wal_path: "str | _os.PathLike | None" = None,
     *,
+    path: "str | _os.PathLike | None" = None,
     parallelism: int | None = None,
+    mmap: bool = False,
+    sync: bool = True,
 ) -> Database:
     """Open a database instance — the canonical entry point.
 
-    *wal_path* enables DDL durability (``Database.recover`` replays it);
+    *path* opens (or creates) a **durable** database directory: row data
+    is WAL-logged, ``CHECKPOINT`` flushes columnar segment files, and
+    ``repro.connect(path=...)`` on the same directory recovers tables
+    and rebuilds PatchIndexes from data (paper §V).  ``mmap=True``
+    memory-maps checkpointed columns instead of loading them eagerly.
+
+    *wal_path* is the historical metadata-only WAL mode
+    (``Database.recover`` replays it with user-supplied data loaders);
     *parallelism* sets the instance-default degree of parallelism
     (``None`` resolves ``REPRO_THREADS`` / the CPU count, ``1`` forces
     serial execution).
     """
-    return Database(wal_path, parallelism=parallelism)
+    return Database(
+        wal_path, path=path, parallelism=parallelism, mmap=mmap, sync=sync
+    )
 
 
 __all__ = [

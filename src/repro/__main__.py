@@ -1,5 +1,6 @@
 r"""Interactive SQL shell:
-``python -m repro [--threads N] [--metrics-dump PATH] [wal-path]``.
+``python -m repro [--threads N] [--metrics-dump PATH] [--data-dir DIR]
+[wal-path]``.
 
 A minimal REPL over :class:`repro.storage.database.Database` — enough
 to poke at PatchIndexes interactively:
@@ -13,6 +14,7 @@ to poke at PatchIndexes interactively:
     repro> \threads 4    -- set the degree of parallelism (\threads shows it)
     repro> \profile on   -- print a query profile after every statement
     repro> \metrics      -- dump the instance's metrics registry
+    repro> \checkpoint   -- flush durable state (same as CHECKPOINT;)
     repro> EXPLAIN ANALYZE SELECT DISTINCT c FROM t;
     repro> \q
 
@@ -20,6 +22,10 @@ Statements may span lines; they execute at the terminating semicolon.
 ``--threads N`` (or the ``REPRO_THREADS`` environment variable) sets
 the morsel-parallel worker count; ``--threads 1`` forces serial plans.
 ``--metrics-dump PATH`` writes the metrics registry as JSON on exit.
+``--data-dir DIR`` opens (or creates) a durable database directory:
+data survives restarts, ``CHECKPOINT`` / ``\checkpoint`` flushes
+segment files, and reopening the same directory recovers tables and
+rebuilds PatchIndexes from data.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ _BANNER = (
     "repro — PatchIndex reproduction shell. "
     "End statements with ';'.  \\d describes, \\threads sets "
     "parallelism, \\profile toggles profiling, \\metrics dumps "
-    "metrics, \\q quits."
+    "metrics, \\checkpoint flushes durable state, \\q quits."
 )
 
 
@@ -102,6 +108,18 @@ def run_shell(
         if not buffer and stripped == "\\metrics":
             emit(database.metrics().to_text() or "(no metrics)")
             continue
+        if not buffer and stripped == "\\checkpoint":
+            try:
+                info = database.checkpoint()
+                emit(
+                    f"checkpoint at lsn {info['lsn']}: "
+                    f"{info['segments']} segments, "
+                    f"{info['wal_pruned']} wal records pruned "
+                    f"({info['seconds']:.3f}s)"
+                )
+            except ReproError as error:
+                emit(f"error: {error}")
+            continue
         if not stripped and not buffer:
             continue
         buffer.append(line)
@@ -122,6 +140,7 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     threads: int | None = None
     metrics_dump: str | None = None
+    data_dir: str | None = None
     positional: list[str] = []
     position = 0
     while position < len(argv):
@@ -146,6 +165,17 @@ def main(argv: list[str] | None = None) -> int:
             metrics_dump = argument.split("=", 1)[1]
             position += 1
             continue
+        elif argument == "--data-dir":
+            if position + 1 >= len(argv):
+                print("error: --data-dir requires a path", file=sys.stderr)
+                return 2
+            data_dir = argv[position + 1]
+            position += 2
+            continue
+        elif argument.startswith("--data-dir="):
+            data_dir = argument.split("=", 1)[1]
+            position += 1
+            continue
         else:
             positional.append(argument)
             position += 1
@@ -156,7 +186,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: --threads expects an integer, got {value!r}", file=sys.stderr)
             return 2
     wal_path = positional[0] if positional else None
-    database = Database(wal_path, parallelism=threads)
+    if data_dir is not None and wal_path is not None:
+        print(
+            "error: pass either --data-dir or a wal path, not both",
+            file=sys.stderr,
+        )
+        return 2
+    database = Database(wal_path, path=data_dir, parallelism=threads)
     code = run_shell(database)
     if metrics_dump is not None:
         try:

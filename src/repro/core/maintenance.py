@@ -87,6 +87,10 @@ class IndexMaintainer:
             self._handle_delete(payload)
         elif event == "update":
             self._handle_update(payload)
+        elif event == "load":
+            # A bulk load reshapes every partition; cached kept-value /
+            # sorted-tail snapshots are stale, rebuild them lazily.
+            self._invalidate()
         # Unknown events are ignored: forward compatibility with new
         # table mutations that do not affect constraint validity.
 

@@ -64,6 +64,9 @@ class PatchIndexStats:
     memory_bytes: int
     creation_seconds: float
     partition_patch_counts: tuple[int, ...]
+    #: How this index came to exist: "user" for explicit creation,
+    #: "recovery" for a rebuild-from-data during WAL replay (paper §V).
+    provenance: str = "user"
 
 
 class PatchIndex:
@@ -81,6 +84,7 @@ class PatchIndex:
         strict: bool = False,
         scope: str = "global",
         creation_seconds: float = 0.0,
+        provenance: str = "user",
     ):
         if len(partition_patches) != table.partition_count:
             raise StorageError(
@@ -96,6 +100,7 @@ class PatchIndex:
         self.strict = strict
         self.scope = scope
         self.creation_seconds = creation_seconds
+        self.provenance = provenance
         self.rebuild_count = 0
         self._partition_patches = partition_patches
         self._maintainer = None  # lazily built by repro.core.maintenance
@@ -139,12 +144,18 @@ class PatchIndex:
         ascending: bool = True,
         strict: bool = False,
         scope: str = "global",
+        provenance: str = "user",
+        enforce_threshold: bool = True,
     ) -> "PatchIndex":
         """Discover patches and build the index (the "AppendToIndex" path).
 
         Raises :class:`~repro.errors.ThresholdExceededError` when the
         discovered exception rate is above *threshold* — the column then
         is not a NUC/NSC under that threshold (conditions NUC3/NSC2).
+        ``enforce_threshold=False`` skips that check: WAL replay rebuilds
+        an index that was legitimately created even if maintenance has
+        since drifted the column past its threshold (*provenance* then
+        records ``"recovery"``).
         """
         if isinstance(kind, str):
             kind = ConstraintKind.from_name(kind)
@@ -154,7 +165,7 @@ class PatchIndex:
             table, column_name, kind, ascending=ascending, strict=strict,
             scope=scope,
         )
-        if not result.satisfies(threshold):
+        if enforce_threshold and not result.satisfies(threshold):
             raise ThresholdExceededError(
                 column_name, result.exception_rate, threshold
             )
@@ -177,6 +188,7 @@ class PatchIndex:
             strict=strict,
             scope=scope,
             creation_seconds=elapsed,
+            provenance=provenance,
         )
 
     @classmethod
@@ -305,6 +317,7 @@ class PatchIndex:
             partition_patch_counts=tuple(
                 patches.patch_count() for patches in self._partition_patches
             ),
+            provenance=self.provenance,
         )
 
     def describe(self) -> str:

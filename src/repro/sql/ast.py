@@ -222,6 +222,11 @@ class SqlDelete(SqlStatement):
 
 
 @dataclass(frozen=True)
+class SqlCheckpoint(SqlStatement):
+    """``CHECKPOINT``: flush durable state through the storage engine."""
+
+
+@dataclass(frozen=True)
 class SqlExplain(SqlStatement):
     query: SqlSelect
     #: EXPLAIN ANALYZE: execute the query and annotate the plan with

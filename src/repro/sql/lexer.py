@@ -18,7 +18,8 @@ KEYWORDS = frozenset(
     join inner left outer on as and or not null is true false in between
     count sum min max avg
     create drop table patchindex insert into values delete update set
-    type mode threshold partitions explain analyze date integer bigint int float
+    type mode threshold partitions explain analyze checkpoint
+    date integer bigint int float
     double real varchar char text bool boolean string
     unique sorted identifier bitmap auto ascending descending
     scope global partition

@@ -97,6 +97,7 @@ class _Parser:
             "type",
             "mode",
             "threshold",
+            "checkpoint",
             "count",
             "sum",
             "min",
@@ -133,6 +134,9 @@ class _Parser:
             return self._insert()
         if token.is_keyword("delete"):
             return self._delete()
+        if token.is_keyword("checkpoint"):
+            self.advance()
+            return ast.SqlCheckpoint()
         raise SqlSyntaxError(f"unsupported statement: {token}", token.position)
 
     def _create(self) -> ast.SqlStatement:

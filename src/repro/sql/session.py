@@ -132,6 +132,15 @@ def _execute_statement(
         _count_statement(database, "delete")
         deleted = _run_delete(database, statement, optimizer_options, parallelism)
         return QueryResult.message(f"{deleted} rows deleted")
+    if isinstance(statement, ast.SqlCheckpoint):
+        _count_statement(database, "checkpoint")
+        info = database.checkpoint()
+        return QueryResult.message(
+            f"checkpoint at lsn {info['lsn']}: {info['tables']} tables, "
+            f"{info['segments']} segments "
+            f"({info['segment_bytes']} bytes), "
+            f"{info['wal_pruned']} wal records pruned"
+        )
     raise BindError(f"unsupported statement type: {type(statement).__name__}")
 
 

@@ -15,6 +15,9 @@ from repro.storage.table import Table
 from repro.storage.catalog import Catalog
 from repro.storage.wal import WriteAheadLog, WalRecord
 from repro.storage.database import Database
+from repro.storage.segment import read_segment, write_segment
+from repro.storage.manifest import Manifest, read_manifest, write_manifest
+from repro.storage.engine import DurableEngine, MemoryEngine, StorageEngine
 
 __all__ = [
     "Field",
@@ -28,4 +31,12 @@ __all__ = [
     "WriteAheadLog",
     "WalRecord",
     "Database",
+    "read_segment",
+    "write_segment",
+    "Manifest",
+    "read_manifest",
+    "write_manifest",
+    "StorageEngine",
+    "MemoryEngine",
+    "DurableEngine",
 ]

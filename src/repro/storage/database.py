@@ -7,18 +7,26 @@ the optimizer and the executor together.
 
 Recovery follows the paper's design (§V): the WAL records *that* a
 PatchIndex exists (name, table, column, kind, mode, threshold) but not
-its patches; replay re-runs discovery against the table data.  Since row
-data itself is not WAL-logged (the paper's engine has its own data
-durability), :meth:`Database.recover` accepts per-table data loaders
-that repopulate tables before indexes are rebuilt.
+its patches; replay re-runs discovery against the table data.  Two
+durability modes exist, selected at construction through the storage
+engine seam (:mod:`repro.storage.engine`):
+
+- in-memory (the default): row data is volatile and the optional WAL
+  covers metadata only; :meth:`Database.recover` accepts per-table data
+  loaders that repopulate tables before indexes are rebuilt.
+- durable (``Database(path=...)`` / ``repro.connect(path=...)``): row
+  data is WAL-logged and checkpointed into columnar segment files, and
+  reopening the same path runs full recovery — manifest load, WAL tail
+  replay, PatchIndex re-discovery from data — automatically.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, Mapping, Sequence, TYPE_CHECKING
 
-from repro.errors import CatalogError, WalError
+from repro.errors import CatalogError, StorageError, WalError
 from repro.storage.catalog import Catalog
 from repro.storage.column import ColumnVector
 from repro.storage.schema import Field, Schema
@@ -68,15 +76,45 @@ class Database:
         self,
         wal_path: str | os.PathLike | None = None,
         *,
+        path: str | os.PathLike | None = None,
         parallelism: int | None = None,
+        mmap: bool = False,
+        sync: bool = True,
     ):
+        """Open a database.
+
+        *wal_path* keeps the historical metadata-only WAL behaviour.
+        *path* instead opens (or creates) a durable data directory
+        managed by :class:`~repro.storage.engine.DurableEngine`: row
+        data is WAL-logged, ``CHECKPOINT`` flushes columnar segment
+        files, and reopening the same *path* recovers tables and
+        rebuilds PatchIndexes from data.  ``mmap=True`` memory-maps
+        checkpointed fixed-width columns instead of loading them;
+        ``sync=False`` skips fsync (benchmarks only).
+        """
+        from repro.storage.engine import DurableEngine, MemoryEngine
+
+        if wal_path is not None and path is not None:
+            raise StorageError(
+                "pass either wal_path (metadata-only WAL) or path "
+                "(durable data directory), not both"
+            )
         self.catalog = Catalog()
-        self.wal = WriteAheadLog(wal_path)
         #: Default degree of parallelism for queries issued through this
         #: instance; ``None`` lets the planner resolve ``REPRO_THREADS``
         #: / the CPU count, ``1`` forces serial plans.
         self.parallelism = parallelism
+        #: True while WAL replay re-applies records (suppresses
+        #: re-logging of the mutations the replay itself performs).
+        self._replaying = False
         self._init_observability()
+        if path is not None:
+            self.engine = DurableEngine(path, mmap=mmap, sync=sync)
+            self.wal = self.engine.open_wal(self, None)
+            self.engine.recover(self)
+        else:
+            self.engine = MemoryEngine()
+            self.wal = self.engine.open_wal(self, wal_path)
 
     def _init_observability(self) -> None:
         from repro.obs import CardinalityFeedback, MetricsRegistry
@@ -88,18 +126,30 @@ class Database:
         self.feedback = CardinalityFeedback()
 
     def _on_table_event(self, event: str, payload: dict) -> None:
-        """Always-on maintenance counters (table mutation events)."""
+        """Always-on maintenance counters, plus engine data logging."""
         if event == "append":
             self.obs.counter("maintenance.appends").inc()
             self.obs.counter("maintenance.rows_appended").inc(
+                int(payload.get("row_count", 0))
+            )
+        elif event == "load":
+            self.obs.counter("maintenance.loads").inc()
+            self.obs.counter("maintenance.rows_loaded").inc(
                 int(payload.get("row_count", 0))
             )
         elif event == "delete":
             self.obs.counter("maintenance.deletes").inc()
         elif event == "update":
             self.obs.counter("maintenance.updates").inc()
+        if not self._replaying:
+            self.engine.table_event(self, event, payload)
 
     # -- table DDL ----------------------------------------------------------
+
+    def _install_table(self, table: Table) -> None:
+        """Register a table in the catalog and wire the event listener."""
+        table.add_listener(self._on_table_event)
+        self.catalog.add_table(table)
 
     def create_table(
         self,
@@ -111,14 +161,14 @@ class Database:
         """Create an empty table and log the DDL."""
         kwargs = {} if block_size is None else {"block_size": block_size}
         table = Table(name, schema, partition_count, **kwargs)
-        table.add_listener(self._on_table_event)
-        self.catalog.add_table(table)
+        self._install_table(table)
         self.wal.append(
             "create_table",
             {
                 "name": name,
                 "schema": schema_to_payload(schema),
                 "partition_count": partition_count,
+                "block_size": table.block_size,
             },
         )
         return table
@@ -161,6 +211,8 @@ class Database:
         ascending: bool = True,
         strict: bool = False,
         _log: bool = True,
+        _provenance: str = "user",
+        _enforce_threshold: bool = True,
     ) -> "PatchIndex":
         """Create a PatchIndex: run discovery, register, log to the WAL.
 
@@ -186,6 +238,8 @@ class Database:
             scope=scope,
             ascending=ascending,
             strict=strict,
+            provenance=_provenance,
+            enforce_threshold=_enforce_threshold,
         )
         self.catalog.add_index(index)
         if _log:
@@ -208,6 +262,36 @@ class Database:
     def drop_patch_index(self, name: str) -> None:
         self.catalog.drop_index(name)
         self.wal.append("drop_index", {"name": name})
+
+    # -- durability ---------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Durably flush state through the storage engine.
+
+        For a durable database this writes a fresh generation of segment
+        files, installs the manifest, marks the WAL and prunes records
+        the checkpoint made redundant; for an in-memory database it
+        writes the marker and compacts metadata.  Returns a summary dict
+        (engine, lsn, segment counts/bytes, records pruned, seconds) and
+        feeds ``checkpoint.seconds`` / ``checkpoint.count`` metrics.
+        """
+        started = time.perf_counter()
+        info = self.engine.checkpoint(self)
+        elapsed = time.perf_counter() - started
+        self.obs.counter("checkpoint.count").inc()
+        self.obs.histogram("checkpoint.seconds").observe(elapsed)
+        info["seconds"] = elapsed
+        return info
+
+    def close(self) -> None:
+        """Release engine resources (appends are already durable)."""
+        self.engine.close(self)
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- SQL entry point ----------------------------------------------------------
 
@@ -323,11 +407,15 @@ class Database:
         rebuilt from the data by re-running discovery, exactly as the
         paper's recovery path does.
         """
+        from repro.storage.engine import MemoryEngine
+
         database = cls.__new__(cls)
         database.catalog = Catalog()
-        database.wal = WriteAheadLog(wal_path)
         database.parallelism = None
+        database._replaying = False
         database._init_observability()
+        database.engine = MemoryEngine()
+        database.wal = WriteAheadLog(wal_path, metrics=database.obs)
         loaders = dict(data_loaders or {})
         for record in database.wal.live_records():
             if record.kind == "create_table":
@@ -337,8 +425,7 @@ class Database:
                     payload_to_schema(payload["schema"]),
                     int(payload.get("partition_count", 1)),
                 )
-                table.add_listener(database._on_table_event)
-                database.catalog.add_table(table)
+                database._install_table(table)
                 loader = loaders.get(table.name)
                 if loader is not None:
                     loader(table)
@@ -359,6 +446,8 @@ class Database:
                     ascending=bool(payload.get("ascending", True)),
                     strict=bool(payload.get("strict", False)),
                     _log=False,
+                    _provenance="recovery",
+                    _enforce_threshold=False,
                 )
         return database
 

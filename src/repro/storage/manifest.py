@@ -1,0 +1,143 @@
+"""The versioned manifest of a durable database directory.
+
+The manifest is the root of the on-disk state: it names every table, its
+schema and partition layout, and the segment file backing each column of
+each partition, all as of one checkpoint LSN.  Everything in the WAL
+with an LSN at or below ``checkpoint_lsn`` is already reflected in the
+segments; recovery loads the manifest first and then replays only the
+WAL tail beyond it (metadata records are kept regardless — PatchIndexes
+are rebuilt from data, never from logged patches).
+
+The manifest is a single JSON document written atomically (temp file +
+fsync + rename), so a crash during checkpoint leaves either the old or
+the new manifest, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import StorageError
+
+#: Bump when the manifest or segment layout changes incompatibly.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class PartitionManifest:
+    """One partition: its row count and column → segment path mapping."""
+
+    row_count: int
+    #: Column name → segment file path relative to the data directory.
+    segments: dict[str, str]
+
+
+@dataclass(frozen=True)
+class TableManifest:
+    """One table: schema payload, layout, and its partition manifests."""
+
+    name: str
+    #: Schema serialized as in WAL ``create_table`` records.
+    schema: list[dict]
+    block_size: int
+    partitions: list[PartitionManifest]
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """Snapshot of the durable state as of ``checkpoint_lsn``."""
+
+    checkpoint_lsn: int
+    tables: dict[str, TableManifest] = field(default_factory=dict)
+    format_version: int = FORMAT_VERSION
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format_version": self.format_version,
+                "checkpoint_lsn": self.checkpoint_lsn,
+                "tables": {
+                    name: {
+                        "schema": table.schema,
+                        "block_size": table.block_size,
+                        "partitions": [
+                            {
+                                "row_count": partition.row_count,
+                                "segments": partition.segments,
+                            }
+                            for partition in table.partitions
+                        ],
+                    }
+                    for name, table in sorted(self.tables.items())
+                },
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StorageError("corrupt manifest: not valid JSON") from exc
+        if not isinstance(raw, dict) or "checkpoint_lsn" not in raw:
+            raise StorageError("corrupt manifest: missing checkpoint_lsn")
+        version = int(raw.get("format_version", 0))
+        if version != FORMAT_VERSION:
+            raise StorageError(
+                f"manifest format version {version} is not supported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        tables: dict[str, TableManifest] = {}
+        for name, entry in raw.get("tables", {}).items():
+            tables[name] = TableManifest(
+                name=name,
+                schema=list(entry["schema"]),
+                block_size=int(entry["block_size"]),
+                partitions=[
+                    PartitionManifest(
+                        row_count=int(partition["row_count"]),
+                        segments=dict(partition["segments"]),
+                    )
+                    for partition in entry["partitions"]
+                ],
+            )
+        return cls(
+            checkpoint_lsn=int(raw["checkpoint_lsn"]),
+            tables=tables,
+            format_version=version,
+        )
+
+
+def write_manifest(
+    root: str | os.PathLike, manifest: Manifest, *, sync: bool = True
+) -> Path:
+    """Atomically install *manifest* as ``<root>/manifest.json``."""
+    root = Path(root)
+    path = root / MANIFEST_NAME
+    tmp = root / (MANIFEST_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(manifest.to_json())
+        handle.write("\n")
+        handle.flush()
+        if sync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_manifest(root: str | os.PathLike) -> Manifest | None:
+    """Load ``<root>/manifest.json``, or None when no checkpoint exists."""
+    path = Path(root) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    return Manifest.from_json(path.read_text(encoding="utf-8"))

@@ -93,6 +93,16 @@ class Partition:
             )
         return self._block_stats[name]
 
+    def preload_block_stats(self, name: str, stats: list[BlockStats]) -> None:
+        """Prime the sketch cache from persisted segment headers.
+
+        Lets a segment-backed partition serve range pruning without
+        touching the (possibly memory-mapped) value bytes.  Any later
+        mutation invalidates the cache as usual.
+        """
+        self.schema.field(name)
+        self._block_stats[name] = list(stats)
+
     def scan_ranges_for_predicate(
         self, name: str, op: str, literal: object
     ) -> list[tuple[int, int]]:

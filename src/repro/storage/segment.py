@@ -1,0 +1,198 @@
+"""Immutable per-column segment files (the durable columnar format).
+
+A *segment* persists one :class:`~repro.storage.column.ColumnVector` —
+one column of one partition — as a single self-describing file:
+
+``RSEG1`` magic line
+    format identification and version.
+JSON header line
+    logical dtype, row count, block size, byte lengths of the payload
+    sections and the per-block min/max/null sketches (the "small
+    materialized aggregates" the scan uses for range pruning), so a
+    reader can restore :class:`~repro.storage.blocks.BlockStats`
+    without touching the value bytes.
+binary payload
+    the raw NumPy value buffer for fixed-width types, or an
+    ``int64`` offsets array plus a UTF-8 byte pool for STRING columns,
+    followed by the validity mask packed to one bit per row (omitted
+    for all-valid columns).
+
+Fixed-width value buffers can be *memory-mapped* on read
+(``mmap=True``), which lets serial and parallel scans run unchanged
+against segment-backed columns without loading them eagerly: a
+``np.memmap`` behaves exactly like the in-memory array (it is read-only,
+which the point-update path already handles by copy-on-write).
+
+Segments are immutable once written: a checkpoint writes a fresh
+generation of files and the manifest flips to it atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.blocks import DEFAULT_BLOCK_SIZE, BlockStats, compute_block_stats
+from repro.storage.column import ColumnVector
+from repro.types import DataType
+from repro.types.datatypes import numpy_dtype
+
+_MAGIC = b"RSEG1\n"
+
+#: Logical dtypes stored as their raw fixed-width NumPy buffer.
+_FIXED_WIDTH = frozenset(
+    {DataType.INT64, DataType.FLOAT64, DataType.DATE, DataType.BOOL}
+)
+
+
+def _jsonable_stat(value: object) -> object:
+    """Make a block-stat bound JSON-serializable (NumPy scalars → Python)."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def write_segment(
+    path: str | os.PathLike,
+    column: ColumnVector,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    *,
+    sync: bool = True,
+) -> int:
+    """Write *column* as a segment file at *path*; returns bytes written.
+
+    The file is written to a temporary sibling and renamed into place so
+    a crash mid-write never leaves a torn segment behind a manifest.
+    """
+    path = Path(path)
+    stats = compute_block_stats(column, block_size)
+    blocks = [
+        [
+            block.start,
+            block.stop,
+            _jsonable_stat(block.minimum),
+            _jsonable_stat(block.maximum),
+            block.null_count,
+        ]
+        for block in stats
+    ]
+
+    if column.dtype in _FIXED_WIDTH:
+        encoding = "fixed"
+        values_bytes = np.ascontiguousarray(column.values).tobytes()
+        offsets_bytes = b""
+    else:
+        encoding = "utf8"
+        pieces = [
+            (value if column.is_valid(position) else "").encode("utf-8")
+            for position, value in enumerate(column.values)
+        ]
+        offsets = np.zeros(len(pieces) + 1, dtype=np.int64)
+        np.cumsum([len(piece) for piece in pieces], out=offsets[1:])
+        offsets_bytes = offsets.tobytes()
+        values_bytes = b"".join(pieces)
+
+    if column.validity is None:
+        validity_bytes = b""
+    else:
+        validity_bytes = np.packbits(column.validity).tobytes()
+
+    header = {
+        "dtype": column.dtype.value,
+        "rows": len(column),
+        "block_size": block_size,
+        "encoding": encoding,
+        "offsets_len": len(offsets_bytes),
+        "values_len": len(values_bytes),
+        "validity_len": len(validity_bytes),
+        "blocks": blocks,
+    }
+    header_line = json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n"
+
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(header_line)
+        handle.write(offsets_bytes)
+        handle.write(values_bytes)
+        handle.write(validity_bytes)
+        handle.flush()
+        if sync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return len(_MAGIC) + len(header_line) + len(offsets_bytes) + len(
+        values_bytes
+    ) + len(validity_bytes)
+
+
+def read_segment(
+    path: str | os.PathLike, *, mmap: bool = False
+) -> tuple[ColumnVector, list[BlockStats]]:
+    """Load a segment file back into a column plus its block sketches.
+
+    ``mmap=True`` memory-maps the value buffer of fixed-width columns
+    instead of copying it into RAM; STRING columns and validity masks
+    are always materialized (object arrays cannot be mapped).
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.readline()
+        if magic != _MAGIC:
+            raise StorageError(f"not a segment file: {path}")
+        try:
+            header = json.loads(handle.readline().decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StorageError(f"corrupt segment header: {path}") from exc
+        payload_start = handle.tell()
+        offsets_len = int(header["offsets_len"])
+        values_len = int(header["values_len"])
+        validity_len = int(header["validity_len"])
+        rows = int(header["rows"])
+        dtype = DataType(header["dtype"])
+
+        offsets_raw = handle.read(offsets_len)
+        if dtype in _FIXED_WIDTH and mmap and values_len:
+            handle.seek(values_len, os.SEEK_CUR)
+            values = np.memmap(
+                path,
+                dtype=numpy_dtype(dtype),
+                mode="r",
+                offset=payload_start + offsets_len,
+                shape=(rows,),
+            )
+        else:
+            values_raw = handle.read(values_len)
+            if dtype in _FIXED_WIDTH:
+                values = np.frombuffer(
+                    values_raw, dtype=numpy_dtype(dtype), count=rows
+                ).copy()
+            else:
+                offsets = np.frombuffer(offsets_raw, dtype=np.int64)
+                if len(offsets) != rows + 1:
+                    raise StorageError(f"corrupt segment offsets: {path}")
+                values = np.empty(rows, dtype=object)
+                for position in range(rows):
+                    lo, hi = int(offsets[position]), int(offsets[position + 1])
+                    values[position] = values_raw[lo:hi].decode("utf-8")
+        validity_raw = handle.read(validity_len)
+
+    if len(values) != rows:
+        raise StorageError(f"corrupt segment values: {path}")
+    validity = None
+    if validity_len:
+        validity = np.unpackbits(
+            np.frombuffer(validity_raw, dtype=np.uint8), count=rows
+        ).astype(np.bool_)
+
+    column = ColumnVector(dtype, values, validity)
+    stats = [
+        BlockStats(
+            int(start), int(stop), minimum, maximum, int(nulls)
+        )
+        for start, stop, minimum, maximum, nulls in header["blocks"]
+    ]
+    return column, stats

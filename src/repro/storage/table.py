@@ -25,10 +25,13 @@ from repro.storage.column import ColumnVector
 from repro.storage.partition import Partition
 from repro.storage.schema import Schema
 
-# Listener signature: (event, payload) where event is "append" or
-# "delete".  Append payload: dict with partition_id, start_rowid, and the
-# appended columns.  Delete payload: dict with the sorted global rowids
-# removed (before renumbering).
+# Listener signature: (event, payload) where event is "append", "load",
+# "delete" or "update".  Every payload carries the table name under
+# "table" (so one listener can serve many tables, e.g. a storage
+# engine's WAL data logging).  Append payload: partition_id,
+# start_rowid, the appended columns, row_count.  Load payload: the
+# loaded columns plus the partitioning strategy.  Delete payload: the
+# sorted global rowids removed (before renumbering).
 TableListener = Callable[[str, dict], None]
 
 
@@ -160,6 +163,15 @@ class Table:
                     }
                 )
         self._renumber()
+        self._notify(
+            "load",
+            {
+                "table": self.name,
+                "columns": dict(columns),
+                "row_count": total,
+                "round_robin": partition_by_round_robin_blocks,
+            },
+        )
 
     @classmethod
     def from_pydict(
@@ -212,6 +224,7 @@ class Table:
         self._notify(
             "append",
             {
+                "table": self.name,
                 "partition_id": target.partition_id,
                 "start_rowid": start_rowid,
                 "columns": columns,
@@ -247,7 +260,12 @@ class Table:
             removed += len(local)
         self._renumber()
         self._notify(
-            "delete", {"rowids": doomed, "per_partition": per_partition}
+            "delete",
+            {
+                "table": self.name,
+                "rowids": doomed,
+                "per_partition": per_partition,
+            },
         )
         return removed
 
@@ -280,12 +298,19 @@ class Table:
             if validity is not None:
                 validity = validity.copy()
                 validity[local] = True
-            values[local] = np.asarray(coerced, dtype=numpy_dtype(field.dtype))
+            if values.dtype == np.dtype(object):
+                # np.asarray would wrap the string in a 0-d object array.
+                values[local] = coerced
+            else:
+                values[local] = np.asarray(
+                    coerced, dtype=numpy_dtype(field.dtype)
+                )
         partition._columns[column] = ColumnVector(field.dtype, values, validity)
         partition._block_stats.clear()
         self._notify(
             "update",
             {
+                "table": self.name,
                 "rowid": rowid,
                 "partition_id": partition.partition_id,
                 "column": column,

@@ -1,4 +1,4 @@
-"""Write-ahead log for DDL and PatchIndex creation.
+"""Write-ahead log for DDL, PatchIndex creation, and row data.
 
 The paper keeps the WAL slim: a ``CREATE PATCHINDEX`` record is logged
 *without* the discovered patches, and on log replay the index is rebuilt
@@ -7,14 +7,24 @@ from the data using the same discovery mechanism as at creation time
 
 Record kinds:
 
-``create_table``     table name, schema, partition count
-``drop_table``       table name
-``create_index``     index name, table, column, kind, mode, threshold
-``drop_index``       index name
-``checkpoint``       marker after which earlier records may be pruned
+metadata records
+    ``create_table``     table name, schema, partition count
+    ``drop_table``       table name
+    ``create_index``     index name, table, column, kind, mode, threshold
+    ``drop_index``       index name
+    ``checkpoint``       marker after which earlier records may be pruned
+                         (see :meth:`WriteAheadLog.compact`)
 
-Row data is *not* logged — this WAL covers metadata durability only,
-which is exactly the scope the paper describes for PatchIndexes.
+data records (durable storage engine, :mod:`repro.storage.engine`)
+    ``append``           rows appended to a table (column → values)
+    ``load``             a bulk load split across partitions
+    ``delete``           global rowids removed from a table
+    ``update``           one cell written in place
+
+Patches are *never* logged — a PatchIndex is always rebuilt from the
+data on recovery, which is exactly the recovery path the paper
+describes.  Data records carry *physical* scalar values (dates as day
+numbers, NULL as ``null``) so replay is byte-exact.
 """
 
 from __future__ import annotations
@@ -23,13 +33,21 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING
 
 from repro.errors import WalError
 
-_KNOWN_KINDS = frozenset(
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+_METADATA_KINDS = frozenset(
     {"create_table", "drop_table", "create_index", "drop_index", "checkpoint"}
 )
+#: Row-data record kinds; replayed by the durable storage engine and
+#: prunable once a checkpoint has flushed them into segment files.
+DATA_KINDS = frozenset({"append", "load", "delete", "update"})
+
+_KNOWN_KINDS = _METADATA_KINDS | DATA_KINDS
 
 
 @dataclass(frozen=True)
@@ -58,11 +76,15 @@ class WalRecord:
         kind = raw["kind"]
         lsn = raw["lsn"]
         payload = raw.get("payload", {})
-        if kind not in _KNOWN_KINDS:
+        if not isinstance(kind, str) or kind not in _KNOWN_KINDS:
             raise WalError(f"unknown WAL record kind: {kind!r}")
+        # JSON has no integer type of its own; bool is an int subclass in
+        # Python, and floats/strings would corrupt LSN arithmetic later.
+        if isinstance(lsn, bool) or not isinstance(lsn, int):
+            raise WalError(f"malformed WAL LSN: {lsn!r}")
         if not isinstance(payload, dict):
             raise WalError(f"malformed WAL payload: {line!r}")
-        return cls(lsn=int(lsn), kind=kind, payload=payload)
+        return cls(lsn=lsn, kind=kind, payload=payload)
 
 
 class WriteAheadLog:
@@ -71,15 +93,31 @@ class WriteAheadLog:
     When *path* is ``None`` the log is kept in memory only, which is the
     convenient mode for tests and benchmarks; passing a path gives
     on-disk durability with fsync-on-append.
+
+    ``tolerate_torn_tail=True`` accepts a final line torn by a crash
+    mid-append: the partial record was never acknowledged, so it is
+    discarded and the file truncated back to the last complete record.
+    A corrupt record *followed by complete ones* still raises — that is
+    real corruption, not a torn write.  ``metrics`` optionally wires a
+    :class:`~repro.obs.metrics.MetricsRegistry` that counts appended
+    records and bytes (``wal.records`` / ``wal.bytes``).
     """
 
-    def __init__(self, path: str | os.PathLike | None = None, sync: bool = True):
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        sync: bool = True,
+        *,
+        tolerate_torn_tail: bool = False,
+        metrics: "MetricsRegistry | None" = None,
+    ):
         self._path = Path(path) if path is not None else None
         self._sync = sync
+        self._metrics = metrics
         self._records: list[WalRecord] = []
         self._next_lsn = 1
         if self._path is not None and self._path.exists():
-            self._records = list(self._read_from_disk())
+            self._records = self._read_from_disk(tolerate_torn_tail)
             if self._records:
                 self._next_lsn = self._records[-1].lsn + 1
 
@@ -87,21 +125,43 @@ class WriteAheadLog:
     def path(self) -> Path | None:
         return self._path
 
-    def _read_from_disk(self) -> Iterator[WalRecord]:
+    def set_metrics(self, metrics: "MetricsRegistry | None") -> None:
+        """Attach (or detach) the registry counting appends."""
+        self._metrics = metrics
+
+    def _read_from_disk(self, tolerate_torn_tail: bool) -> list[WalRecord]:
         assert self._path is not None
+        raw = self._path.read_bytes()
+        records: list[WalRecord] = []
         previous_lsn = 0
-        with open(self._path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                record = WalRecord.from_json(line)
+        good_end = 0
+        position = 0
+        lines: list[tuple[int, bytes]] = []
+        for chunk in raw.split(b"\n"):
+            lines.append((position, chunk))
+            position += len(chunk) + 1
+        nonblank = [
+            (offset, chunk) for offset, chunk in lines if chunk.strip()
+        ]
+        for index, (offset, chunk) in enumerate(nonblank):
+            try:
+                record = WalRecord.from_json(chunk.decode("utf-8", "replace"))
                 if record.lsn <= previous_lsn:
                     raise WalError(
                         f"non-monotonic LSN {record.lsn} after {previous_lsn}"
                     )
-                previous_lsn = record.lsn
-                yield record
+            except WalError:
+                if tolerate_torn_tail and index == len(nonblank) - 1:
+                    # A torn final append: drop it and truncate the file
+                    # so subsequent appends start on a clean boundary.
+                    with open(self._path, "r+b") as handle:
+                        handle.truncate(good_end)
+                    break
+                raise
+            previous_lsn = record.lsn
+            records.append(record)
+            good_end = offset + len(chunk) + 1
+        return records
 
     # -- appending ---------------------------------------------------------
 
@@ -112,17 +172,23 @@ class WriteAheadLog:
         record = WalRecord(self._next_lsn, kind, dict(payload or {}))
         self._next_lsn += 1
         self._records.append(record)
+        line = record.to_json() + "\n"
         if self._path is not None:
             with open(self._path, "a", encoding="utf-8") as handle:
-                handle.write(record.to_json() + "\n")
+                handle.write(line)
                 handle.flush()
                 if self._sync:
                     os.fsync(handle.fileno())
+        if self._metrics is not None:
+            self._metrics.counter("wal.records").inc()
+            self._metrics.counter("wal.bytes").inc(len(line))
+            if kind in DATA_KINDS:
+                self._metrics.counter("wal.data_records").inc()
         return record
 
-    def checkpoint(self) -> WalRecord:
-        """Write a checkpoint marker."""
-        return self.append("checkpoint")
+    def checkpoint(self, payload: dict | None = None) -> WalRecord:
+        """Write a checkpoint marker (optionally carrying manifest info)."""
+        return self.append("checkpoint", payload)
 
     # -- reading -------------------------------------------------------------
 
@@ -130,12 +196,27 @@ class WriteAheadLog:
         """All records in LSN order."""
         return list(self._records)
 
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest record, or 0 for an empty log."""
+        return self._records[-1].lsn if self._records else 0
+
+    def last_checkpoint_lsn(self) -> int | None:
+        """LSN of the most recent checkpoint marker, or None."""
+        for record in reversed(self._records):
+            if record.kind == "checkpoint":
+                return record.lsn
+        return None
+
     def live_records(self) -> list[WalRecord]:
         """Records that still have an effect after replay.
 
-        Create records cancelled by a later matching drop are elided, and
-        drop records themselves never survive (they only cancel).  The
-        result is what a replay actually needs to apply.
+        Create records cancelled by a later matching drop are elided,
+        drop records themselves never survive (they only cancel), and
+        data records of dropped tables disappear with the table.
+        Checkpoint markers are bookkeeping, not replay input, so they
+        are excluded.  The result is what a replay actually needs to
+        apply.
         """
         dropped_tables: set[str] = set()
         dropped_indexes: set[str] = set()
@@ -158,8 +239,63 @@ class WriteAheadLog:
                     dropped_indexes.discard(name)
                 else:
                     live.append(record)
+            elif record.kind in DATA_KINDS:
+                if record.payload.get("table") not in dropped_tables:
+                    live.append(record)
         live.reverse()
         return live
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self) -> int:
+        """Prune records made redundant by drops and the last checkpoint.
+
+        This implements the documented checkpoint contract ("earlier
+        records may be pruned"): metadata records are condensed to the
+        live set (cancelled create/drop pairs disappear), and data
+        records at or below the most recent checkpoint marker are
+        dropped — a checkpoint has already flushed their effect into
+        segment files, so only the WAL tail beyond it is ever replayed.
+        Metadata records are kept across checkpoints because recovery
+        rebuilds PatchIndexes from data rather than from a snapshot.
+
+        Replay is unaffected: :meth:`live_records` before and after
+        compaction differ only in data records covered by the
+        checkpoint.  LSNs are preserved, as is the next LSN to assign.
+        Returns the number of records pruned.
+        """
+        checkpoint_lsn = self.last_checkpoint_lsn()
+        kept = [
+            record
+            for record in self.live_records()
+            if not (
+                record.kind in DATA_KINDS
+                and checkpoint_lsn is not None
+                and record.lsn <= checkpoint_lsn
+            )
+        ]
+        if checkpoint_lsn is not None:
+            marker = next(
+                record
+                for record in self._records
+                if record.lsn == checkpoint_lsn
+            )
+            kept.append(marker)
+            kept.sort(key=lambda record: record.lsn)
+        pruned = len(self._records) - len(kept)
+        if pruned == 0:
+            return 0
+        self._records = kept
+        if self._path is not None:
+            tmp = self._path.with_suffix(self._path.suffix + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in kept:
+                    handle.write(record.to_json() + "\n")
+                handle.flush()
+                if self._sync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, self._path)
+        return pruned
 
     def truncate(self) -> None:
         """Discard all records (after an external full checkpoint)."""

@@ -67,3 +67,44 @@ class TestShell:
     def test_blank_lines_ignored(self):
         code, __, __ = drive(["", "   ", "\\q"])
         assert code == 0
+
+
+class TestCheckpoint:
+    def test_checkpoint_statement(self):
+        code, text, __ = drive(
+            [
+                "CREATE TABLE t (c BIGINT);",
+                "INSERT INTO t VALUES (1), (2);",
+                "CHECKPOINT;",
+            ]
+        )
+        assert code == 0
+        assert "checkpoint at lsn" in text
+
+    def test_checkpoint_backslash_command(self):
+        code, text, __ = drive(
+            [
+                "CREATE TABLE t (c BIGINT);",
+                "\\checkpoint",
+            ]
+        )
+        assert code == 0
+        assert "checkpoint at lsn" in text
+
+    def test_durable_checkpoint_flushes_segments(self, tmp_path):
+        database = Database(path=tmp_path / "db")
+        output = io.StringIO()
+        code = run_shell(
+            database,
+            input_stream=iter(
+                [
+                    "CREATE TABLE t (c BIGINT);",
+                    "INSERT INTO t VALUES (1), (2);",
+                    "\\checkpoint",
+                ]
+            ),
+            output=output,
+        )
+        assert code == 0
+        assert "1 segments" in output.getvalue()
+        assert (tmp_path / "db" / "manifest.json").exists()

@@ -1,0 +1,129 @@
+"""Unit tests for the columnar segment file format."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.column import ColumnVector
+from repro.storage.segment import read_segment, write_segment
+from repro.types import DataType
+
+
+def roundtrip(tmp_path, dtype, items, *, mmap=False, block_size=4096):
+    column = ColumnVector.from_pylist(dtype, items)
+    path = tmp_path / "col.seg"
+    written = write_segment(path, column, block_size, sync=False)
+    assert written == path.stat().st_size
+    loaded, stats = read_segment(path, mmap=mmap)
+    assert loaded.dtype == dtype
+    assert loaded.to_pylist() == column.to_pylist()
+    return loaded, stats
+
+
+class TestRoundtrip:
+    def test_int64(self, tmp_path):
+        roundtrip(tmp_path, DataType.INT64, [1, -5, 2**40, 0])
+
+    def test_float64(self, tmp_path):
+        roundtrip(tmp_path, DataType.FLOAT64, [1.5, -0.25, 1e300])
+
+    def test_bool(self, tmp_path):
+        roundtrip(tmp_path, DataType.BOOL, [True, False, True])
+
+    def test_date(self, tmp_path):
+        roundtrip(
+            tmp_path,
+            DataType.DATE,
+            [datetime.date(2020, 1, 1), datetime.date(1969, 12, 31)],
+        )
+
+    def test_strings_including_unicode(self, tmp_path):
+        roundtrip(
+            tmp_path,
+            DataType.STRING,
+            ["plain", "", "naïve — ünïcødé", "日本語", "a" * 1000],
+        )
+
+    def test_nulls(self, tmp_path):
+        loaded, __ = roundtrip(
+            tmp_path, DataType.INT64, [1, None, 3, None, 5]
+        )
+        assert loaded.null_count() == 2
+
+    def test_string_nulls_distinct_from_empty(self, tmp_path):
+        loaded, __ = roundtrip(tmp_path, DataType.STRING, ["", None, "x"])
+        assert loaded.to_pylist() == ["", None, "x"]
+
+    def test_empty_column(self, tmp_path):
+        loaded, stats = roundtrip(tmp_path, DataType.INT64, [])
+        assert len(loaded) == 0
+        assert stats == []
+
+    def test_all_null_column(self, tmp_path):
+        loaded, stats = roundtrip(tmp_path, DataType.FLOAT64, [None, None])
+        assert loaded.null_count() == 2
+        assert stats[0].minimum is None
+
+
+class TestBlockStats:
+    def test_stats_match_recomputation(self, tmp_path):
+        from repro.storage.blocks import compute_block_stats
+
+        items = list(range(100, 0, -1))
+        column = ColumnVector.from_pylist(DataType.INT64, items)
+        path = tmp_path / "col.seg"
+        write_segment(path, column, block_size=16, sync=False)
+        __, stats = read_segment(path)
+        assert stats == compute_block_stats(column, 16)
+
+    def test_stats_usable_for_pruning(self, tmp_path):
+        from repro.storage.blocks import prune_blocks
+
+        column = ColumnVector.from_pylist(DataType.INT64, list(range(64)))
+        path = tmp_path / "col.seg"
+        write_segment(path, column, block_size=16, sync=False)
+        __, stats = read_segment(path)
+        assert prune_blocks(stats, ">", 47) == [(48, 64)]
+
+
+class TestMmap:
+    def test_mmap_matches_eager(self, tmp_path):
+        eager, __ = roundtrip(tmp_path, DataType.INT64, [3, 1, 2], mmap=False)
+        mapped, __ = roundtrip(tmp_path, DataType.INT64, [3, 1, 2], mmap=True)
+        assert isinstance(mapped.values, np.memmap)
+        assert not mapped.values.flags.writeable
+        np.testing.assert_array_equal(np.asarray(mapped.values), eager.values)
+
+    def test_mmap_strings_fall_back_to_materialized(self, tmp_path):
+        loaded, __ = roundtrip(tmp_path, DataType.STRING, ["a", "b"], mmap=True)
+        assert not isinstance(loaded.values, np.memmap)
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "col.seg"
+        path.write_bytes(b"NOTSEG\n{}\n")
+        with pytest.raises(StorageError):
+            read_segment(path)
+
+    def test_corrupt_header(self, tmp_path):
+        path = tmp_path / "col.seg"
+        path.write_bytes(b"RSEG1\nnot-json\n")
+        with pytest.raises(StorageError):
+            read_segment(path)
+
+    def test_truncated_values(self, tmp_path):
+        column = ColumnVector.from_pylist(DataType.INT64, [1, 2, 3])
+        path = tmp_path / "col.seg"
+        write_segment(path, column, sync=False)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])
+        with pytest.raises((StorageError, ValueError)):
+            read_segment(path)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        column = ColumnVector.from_pylist(DataType.INT64, [1])
+        write_segment(tmp_path / "col.seg", column, sync=False)
+        assert [entry.name for entry in tmp_path.iterdir()] == ["col.seg"]

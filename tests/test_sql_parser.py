@@ -191,3 +191,11 @@ class TestDdl:
     def test_unsupported_statement(self):
         with pytest.raises(SqlSyntaxError):
             parse_statement("VACUUM t")
+
+    def test_checkpoint(self):
+        statement = parse_statement("CHECKPOINT")
+        assert isinstance(statement, ast.SqlCheckpoint)
+
+    def test_checkpoint_usable_as_table_name(self):
+        statement = parse_statement("SELECT c FROM checkpoint")
+        assert isinstance(statement, ast.SqlSelect)
