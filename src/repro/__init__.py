@@ -30,6 +30,7 @@ from repro.errors import (
     ThresholdExceededError,
     ExecutionError,
     PlanError,
+    PlanInvariantError,
     SqlError,
 )
 from repro.types import DataType
@@ -98,6 +99,7 @@ __all__ = [
     "ThresholdExceededError",
     "ExecutionError",
     "PlanError",
+    "PlanInvariantError",
     "SqlError",
     "DataType",
     "Field",

@@ -1,0 +1,18 @@
+"""Static analysis for the repro engine.
+
+:mod:`repro.check.plan_verifier` is the pre-execution plan verifier: a
+bottom-up pass over a physical operator tree that proves schema, sort
+order, and patch-partitioning properties, and rejects invalid plans with
+:class:`~repro.errors.PlanInvariantError` before a single batch flows.
+The project-level lint rules (bare asserts, lock discipline, fsync
+discipline, metric namespaces) live in ``tools/repro_lint.py`` — they
+run on source text in CI, not on plans.
+"""
+
+from repro.check.plan_verifier import (
+    OrderProperty,
+    PlanProperties,
+    verify_plan,
+)
+
+__all__ = ["OrderProperty", "PlanProperties", "verify_plan"]

@@ -96,9 +96,14 @@ class IndexMaintainer:
 
     # -- lazy state ----------------------------------------------------------
 
-    def _ensure_nuc_state(self) -> None:
-        if self._kept_value_rowids is not None:
-            return
+    def _ensure_nuc_state(self) -> tuple[dict, set]:
+        """Kept-value → rowid map and patch-value set, built lazily.
+
+        Returns the live state objects (never ``None``), so callers can
+        mutate them in place without re-checking optionals.
+        """
+        if self._kept_value_rowids is not None and self._patch_values is not None:
+            return self._kept_value_rowids, self._patch_values
         index = self.index
         kept: dict = {}
         patch_values: set = set()
@@ -136,10 +141,14 @@ class IndexMaintainer:
                     kept[value] = global_rowid
         self._kept_value_rowids = kept
         self._patch_values = patch_values
+        return kept, patch_values
 
-    def _ensure_nsc_state(self) -> None:
+    def _ensure_nsc_state(self) -> list[object]:
+        """Per-partition sorted-tail snapshot, built lazily (never
+        ``None``; the returned list is the live state, mutated in
+        place by the append handler)."""
         if self._last_kept is not None:
-            return
+            return self._last_kept
         last_kept: list[object] = []
         for partition, patches in zip(
             self.index.table.partitions, self.index._partition_patches
@@ -163,6 +172,7 @@ class IndexMaintainer:
                     tail = value
             last_kept = [tail] * len(last_kept)
         self._last_kept = last_kept
+        return last_kept
 
     def _invalidate(self) -> None:
         if (
@@ -189,9 +199,8 @@ class IndexMaintainer:
         partition_base = index.table.partitions[partition_id].base_rowid
 
         if index.constraint_kind == ConstraintKind.SORTED:
-            self._ensure_nsc_state()
-            assert self._last_kept is not None
-            last = self._last_kept[partition_id]
+            last_kept = self._ensure_nsc_state()
+            last = last_kept[partition_id]
             new_local_patches: list[int] = []
             for offset in range(row_count):
                 value = column[offset]
@@ -199,16 +208,14 @@ class IndexMaintainer:
                     new_local_patches.append(old_partition_rows + offset)
                 else:
                     last = value
-            self._last_kept[partition_id] = last
+            last_kept[partition_id] = last
             patches.extend(
                 new_partition_rows,
                 np.asarray(new_local_patches, dtype=np.int64),
             )
             self.stats.patches_added += len(new_local_patches)
         else:
-            self._ensure_nuc_state()
-            assert self._kept_value_rowids is not None
-            assert self._patch_values is not None
+            kept_value_rowids, patch_values = self._ensure_nuc_state()
             new_local_patches: list[int] = []
             demoted_global: list[int] = []
             for offset in range(row_count):
@@ -217,15 +224,15 @@ class IndexMaintainer:
                 global_rowid = partition_base + local
                 if value is None:
                     new_local_patches.append(local)
-                elif value in self._patch_values:
+                elif value in patch_values:
                     new_local_patches.append(local)
-                elif value in self._kept_value_rowids:
+                elif value in kept_value_rowids:
                     # NUC2: demote the previously-kept twin as well.
-                    demoted_global.append(self._kept_value_rowids.pop(value))
-                    self._patch_values.add(value)
+                    demoted_global.append(kept_value_rowids.pop(value))
+                    patch_values.add(value)
                     new_local_patches.append(local)
                 else:
-                    self._kept_value_rowids[value] = global_rowid
+                    kept_value_rowids[value] = global_rowid
             patches.extend(
                 new_partition_rows,
                 np.asarray(new_local_patches, dtype=np.int64),
@@ -287,17 +294,15 @@ class IndexMaintainer:
         old_value = payload["old_value"]
 
         if index.constraint_kind == ConstraintKind.UNIQUE:
-            self._ensure_nuc_state()
-            assert self._kept_value_rowids is not None
-            assert self._patch_values is not None
-            if not was_patch and self._kept_value_rowids.get(old_value) == rowid:
-                del self._kept_value_rowids[old_value]
+            kept_value_rowids, patch_values = self._ensure_nuc_state()
+            if not was_patch and kept_value_rowids.get(old_value) == rowid:
+                del kept_value_rowids[old_value]
             if new_value is not None:
-                twin = self._kept_value_rowids.pop(new_value, None)
+                twin = kept_value_rowids.pop(new_value, None)
                 if twin is not None and twin != rowid:
                     self._demote_global_rowids([twin])
                     self.stats.kept_rows_demoted += 1
-                self._patch_values.add(new_value)
+                patch_values.add(new_value)
         else:
             if not was_patch:
                 # The updated row leaves the sorted subsequence; any

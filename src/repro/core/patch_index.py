@@ -85,6 +85,7 @@ class PatchIndex:
         scope: str = "global",
         creation_seconds: float = 0.0,
         provenance: str = "user",
+        mode: PatchIndexMode | None = None,
     ):
         if len(partition_patches) != table.partition_count:
             raise StorageError(
@@ -101,6 +102,10 @@ class PatchIndex:
         self.scope = scope
         self.creation_seconds = creation_seconds
         self.provenance = provenance
+        #: Design selector the index was created with; ``None`` for
+        #: directly-constructed indexes of unknown provenance.  The plan
+        #: verifier uses it to enforce the 1/64 crossover contract.
+        self.mode = mode
         self.rebuild_count = 0
         self._partition_patches = partition_patches
         self._maintainer = None  # lazily built by repro.core.maintenance
@@ -189,6 +194,7 @@ class PatchIndex:
             scope=scope,
             creation_seconds=elapsed,
             provenance=provenance,
+            mode=mode,
         )
 
     @classmethod
@@ -226,6 +232,7 @@ class PatchIndex:
             ascending=ascending,
             strict=strict,
             scope=scope,
+            mode=mode,
         )
 
     # -- query surface (used by PatchSelect) ------------------------------------
@@ -369,6 +376,7 @@ class PatchIndex:
             )
         ]
         self._maintainer = None
+        self.mode = PatchIndexMode.AUTO
         self.rebuild_count += 1
 
     def _on_table_event(self, event: str, payload: dict) -> None:

@@ -53,6 +53,20 @@ class PlanError(ReproError):
     """A logical plan is invalid or cannot be converted to physical form."""
 
 
+class PlanInvariantError(PlanError):
+    """A physical plan violates a statically checkable invariant.
+
+    Raised by the pre-execution plan verifier
+    (:mod:`repro.check.plan_verifier`).  *rule* names the violated rule
+    from the catalogue in DESIGN.md §6 (e.g. ``"merge-input-order"``),
+    so tests and tools can assert on the exact invariant that failed.
+    """
+
+    def __init__(self, rule: str, message: str):
+        self.rule = rule
+        super().__init__(f"[{rule}] {message}")
+
+
 class SqlError(ReproError):
     """Base class for SQL front-end errors."""
 

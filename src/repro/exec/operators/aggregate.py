@@ -281,11 +281,15 @@ def _compute_grouped(
                 seen[group] = True
         return ColumnVector(out_field.dtype, out, out_validity)
     if spec.func == "min":
-        out = np.full(group_count, _extreme(values.dtype, maximum=True))
+        out = np.full(
+            group_count, _extreme(values.dtype, maximum=True), dtype=values.dtype
+        )
         np.minimum.at(out, group_of_valid, values)
         out[empty] = _fill(values.dtype)
     else:
-        out = np.full(group_count, _extreme(values.dtype, maximum=False))
+        out = np.full(
+            group_count, _extreme(values.dtype, maximum=False), dtype=values.dtype
+        )
         np.maximum.at(out, group_of_valid, values)
         out[empty] = _fill(values.dtype)
     return ColumnVector(out_field.dtype, out.astype(values.dtype), out_validity)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import PlanError
+from repro.errors import ExecutionError, PlanError
 from repro.exec.batch import RecordBatch
 from repro.exec.hashtable import Int64HashTable
 from repro.exec.operators.base import Operator
@@ -169,7 +169,10 @@ class HashJoin(Operator):
                 found[hit],
                 False,
             )
-        assert self._dict_table is not None
+        if self._dict_table is None:
+            raise ExecutionError(
+                "HashJoin hash table unavailable; next_batch() before open()?"
+            )
         probe_idx: list[int] = []
         build_idx: list[int] = []
         values = key_column.values
@@ -191,7 +194,10 @@ class HashJoin(Operator):
         build_idx: np.ndarray,
         passthrough: bool = False,
     ) -> RecordBatch:
-        assert self._build_data is not None
+        if self._build_data is None:
+            raise ExecutionError(
+                "HashJoin build side unavailable; next_batch() before open()?"
+            )
         columns: dict[str, ColumnVector] = {}
         for field in self.probe.schema:
             vector = batch.column(field.name)

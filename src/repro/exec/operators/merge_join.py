@@ -105,7 +105,10 @@ class MergeJoin(Operator):
 
     def next_batch(self) -> RecordBatch | None:
         self._ensure_right()
-        assert self._right_keys is not None
+        if self._right_keys is None:
+            raise ExecutionError(
+                "MergeJoin right side unavailable; next_batch() before open()?"
+            )
         while True:
             batch = self.left.next_batch()
             if batch is None:
@@ -166,7 +169,10 @@ class MergeJoin(Operator):
         right_idx: np.ndarray,
         passthrough: bool = False,
     ) -> RecordBatch:
-        assert self._right_data is not None
+        if self._right_data is None:
+            raise ExecutionError(
+                "MergeJoin right side unavailable; next_batch() before open()?"
+            )
         columns: dict[str, ColumnVector] = {}
         for field in self.left.schema:
             vector = batch.column(field.name)

@@ -19,6 +19,7 @@ from repro.exec.parallel.morsels import (
     DEFAULT_MORSEL_SIZE,
     Morsel,
     morsels_for_table,
+    validate_morsels,
 )
 from repro.exec.parallel.pool import (
     default_parallelism,
@@ -38,6 +39,7 @@ __all__ = [
     "DEFAULT_MORSEL_SIZE",
     "Morsel",
     "morsels_for_table",
+    "validate_morsels",
     "default_parallelism",
     "get_pool",
     "shutdown_pool",

@@ -89,3 +89,60 @@ def morsels_for_table(
         if pending:
             morsels.append(Morsel(tuple(pending)))
     return morsels
+
+
+def validate_morsels(morsels: list[Morsel], table: Table | None = None) -> None:
+    """Check the morsel invariants this module promises.
+
+    The plan verifier calls this on every Exchange / parallel-terminal
+    boundary: morsel ranges must be ascending and disjoint, consecutive
+    morsels must stay in ascending rowid order (the ordered gather in
+    :class:`~repro.exec.parallel.exchange.Exchange` equates submission
+    order with rowid order), and — when *table* is known — no morsel may
+    cross a partition boundary, which is what keeps batch rowids usable
+    as tuple identifiers inside a fragment's PatchSelect.
+
+    Raises :class:`~repro.errors.PlanInvariantError` (rule
+    ``exchange-ordering``) on the first violation.
+    """
+    from repro.errors import PlanInvariantError
+
+    previous_stop = None
+    for number, morsel in enumerate(morsels):
+        if not morsel.ranges:
+            raise PlanInvariantError(
+                "exchange-ordering", f"morsel {number} has no ranges"
+            )
+        for start, stop in morsel.ranges:
+            if start >= stop:
+                raise PlanInvariantError(
+                    "exchange-ordering",
+                    f"morsel {number} has empty/inverted range "
+                    f"[{start}, {stop})",
+                )
+            if previous_stop is not None and start < previous_stop:
+                raise PlanInvariantError(
+                    "exchange-ordering",
+                    f"morsel {number} range [{start}, {stop}) overlaps or "
+                    f"precedes rowid {previous_stop}; morsels must be "
+                    "disjoint and ascending for the ordered gather",
+                )
+            previous_stop = stop
+        if table is not None:
+            lo = morsel.ranges[0][0]
+            hi = morsel.ranges[-1][1]
+            if hi > table.row_count:
+                raise PlanInvariantError(
+                    "exchange-ordering",
+                    f"morsel {number} exceeds table "
+                    f"{table.name!r} ({hi} > {table.row_count} rows)",
+                )
+            partition = table.partition_of_rowid(lo)
+            p_start, p_stop = partition.rowid_range
+            if hi > p_stop:
+                raise PlanInvariantError(
+                    "exchange-ordering",
+                    f"morsel {number} spans partition boundary at rowid "
+                    f"{p_stop} of table {table.name!r}; batch rowids would "
+                    "stop being contiguous tuple identifiers",
+                )

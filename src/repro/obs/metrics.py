@@ -130,21 +130,26 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def summary(self) -> dict:
-        """Exportable summary (omits empty-histogram infinities)."""
-        if self.count == 0:
-            return {"count": 0, "sum": 0.0}
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": self.mean,
-            "buckets": {
-                f"le_{bound:g}": count
-                for bound, count in zip(self.buckets, self.bucket_counts)
-                if count
-            },
-        }
+        """Exportable summary (omits empty-histogram infinities).
+
+        Taken under the lock so a concurrent :meth:`observe` can never
+        produce a torn snapshot (e.g. a count without its sum).
+        """
+        with self._lock:
+            if self.count == 0:
+                return {"count": 0, "sum": 0.0}
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.minimum,
+                "max": self.maximum,
+                "mean": self.total / self.count,
+                "buckets": {
+                    f"le_{bound:g}": count
+                    for bound, count in zip(self.buckets, self.bucket_counts)
+                    if count
+                },
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}, n={self.count})"

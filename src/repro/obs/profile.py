@@ -264,18 +264,28 @@ class ParallelObs:
         return build
 
     def finalize(self, node: ProfileNode) -> None:
-        """Write pool metrics into *node* and merge fragment actuals."""
+        """Write pool metrics into *node* and merge fragment actuals.
+
+        Usually called after the gather completed, but a profile can be
+        rendered while late morsel tasks are still accounting — so the
+        shared counters are snapshotted under the same lock
+        :meth:`submit` and :meth:`wrap_factory` write them under.
+        """
+        with self._lock:
+            dop_used = len(self.worker_busy_seconds)
+            morsels_run = self.morsels_run
+            queue_wait = self.queue_wait_seconds
+            busy = sum(self.worker_busy_seconds.values())
+            roots = list(self.fragment_roots)
         node.details["dop"] = self.parallelism
-        node.details["dop_used"] = len(self.worker_busy_seconds)
+        node.details["dop_used"] = dop_used
         node.details["morsels"] = self.morsel_count
-        node.details["morsels_run"] = self.morsels_run
-        node.details["queue_wait_s"] = round(self.queue_wait_seconds, 6)
-        node.details["busy_s"] = round(
-            sum(self.worker_busy_seconds.values()), 6
-        )
+        node.details["morsels_run"] = morsels_run
+        node.details["queue_wait_s"] = round(queue_wait, 6)
+        node.details["busy_s"] = round(busy, 6)
         if node.children:
             template = node.children[0]
-            for root in self.fragment_roots:
+            for root in roots:
                 _finalize_tree(root)
                 _merge_nodes(template, root)
 

@@ -34,11 +34,22 @@ def explain_physical(operator: Operator) -> str:
     return operator.explain()
 
 
-def explain_both(logical: LogicalPlan, physical: Operator) -> str:
-    """Combined EXPLAIN output: logical plan, then the physical plan."""
-    return (
+def explain_both(
+    logical: LogicalPlan, physical: Operator, verified: bool = False
+) -> str:
+    """Combined EXPLAIN output: logical plan, then the physical plan.
+
+    *verified* appends the ``verified: ok`` footer — the caller's
+    statement that :func:`repro.check.plan_verifier.verify_plan`
+    accepted the physical plan (the planner runs it on every plan it
+    produces, so EXPLAIN output normally carries the line).
+    """
+    rendered = (
         "== logical plan ==\n"
         f"{explain_logical(logical)}\n"
         "== physical plan ==\n"
         f"{explain_physical(physical)}"
     )
+    if verified:
+        rendered += "\nverified: ok"
+    return rendered

@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.constraints import values_are_sorted
 from repro.core.cost_model import CostModel
+from repro.errors import PlanInvariantError
 from repro.exec.expressions import ColumnRef
 from repro.exec.operators.aggregate import AggregateSpec
 from repro.exec.operators.sort import SortKey
@@ -151,19 +152,36 @@ class Optimizer:
         if self.options.rewrite_distinct:
             rewritten = self._try_distinct(plan)
             if rewritten is not None:
-                return rewritten
+                return self._check_rewrite(plan, rewritten)
             rewritten = self._try_count_distinct(plan)
             if rewritten is not None:
-                return rewritten
+                return self._check_rewrite(plan, rewritten)
         if self.options.rewrite_sort:
             rewritten = self._try_sort(plan)
             if rewritten is not None:
-                return rewritten
+                return self._check_rewrite(plan, rewritten)
         if self.options.rewrite_join:
             rewritten = self._try_join(plan)
             if rewritten is not None:
-                return rewritten
+                return self._check_rewrite(plan, rewritten)
         return plan
+
+    def _check_rewrite(
+        self, original: lp.LogicalPlan, rewritten: lp.LogicalPlan
+    ) -> lp.LogicalPlan:
+        """A rewrite must be schema-preserving: same columns, same
+        types, same order.  Anything else means the rule replaced the
+        query with a different one — fail fast at plan time instead of
+        returning wrong rows (rule ``rewrite-schema``)."""
+        before = [(f.name, f.dtype) for f in original.schema.fields]
+        after = [(f.name, f.dtype) for f in rewritten.schema.fields]
+        if before != after:
+            raise PlanInvariantError(
+                "rewrite-schema",
+                f"rewrite of {original.label()} changed the output "
+                f"schema from {before} to {after}",
+            )
+        return rewritten
 
     # -- shared helpers ---------------------------------------------------
 

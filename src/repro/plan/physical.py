@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable
 
+from repro.check.plan_verifier import verify_plan
 from repro.core.cost_model import CostModel
 from repro.errors import PlanError
 from repro.exec.batch import DEFAULT_BATCH_SIZE
@@ -93,6 +94,7 @@ class PhysicalPlanner:
         parallelism: int | None = None,
         morsel_size: int = DEFAULT_MORSEL_SIZE,
         cost_model: CostModel | None = None,
+        verify: bool = True,
     ):
         self.batch_size = batch_size
         self.derive_scan_ranges = derive_scan_ranges
@@ -102,13 +104,23 @@ class PhysicalPlanner:
         )
         self.morsel_size = morsel_size
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.verify = verify
+        self._depth = 0
 
     def plan(self, logical: lp.LogicalPlan) -> Operator:
-        operator = self._plan_node(logical)
+        self._depth += 1
+        try:
+            operator = self._plan_node(logical)
+        finally:
+            self._depth -= 1
         if operator.estimated_rows is None:
             # Stamp the optimizer's cardinality estimate so EXPLAIN
             # ANALYZE can report actual vs. estimated rows per operator.
             operator.estimated_rows = estimate_rows(logical)
+        if self.verify and self._depth == 0:
+            # Always-on invariant pass over the finished plan (the
+            # depth guard skips the recursive calls for subtrees).
+            verify_plan(operator)
         return operator
 
     def _plan_node(self, logical: lp.LogicalPlan) -> Operator:
@@ -153,11 +165,16 @@ class PhysicalPlanner:
         if isinstance(logical, lp.LogicalJoin):
             return self._plan_join(logical)
         if isinstance(logical, lp.LogicalMergeJoin):
+            # The optimizer proved the right side sorted from *data*
+            # (a zero-patch NSC or a cached column check), which the
+            # static verifier cannot re-derive — keep the cheap
+            # vectorized runtime guard on as defense in depth.
             return MergeJoin(
                 self.plan(logical.left),
                 self.plan(logical.right),
                 logical.left_key,
                 logical.right_key,
+                check_sorted=True,
             )
         if isinstance(logical, lp.LogicalUnionAll):
             return UnionAll([self.plan(child) for child in logical.inputs])

@@ -7,7 +7,7 @@ plans against a catalog.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 # -- scalar expressions --------------------------------------------------------

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import BindError
+from repro.errors import BindError, ExecutionError
 from repro.exec.operators.scan import TID_COLUMN
 from repro.exec.result import QueryResult, collect
 from repro.obs.profile import QueryProfile, profile_collect
@@ -85,11 +85,11 @@ def _execute_statement(
                 profile=True,
                 query_text=text,
             )
-            assert executed.profile is not None
+            profile = _require_profile(executed)
             result = QueryResult.from_lines(
-                "plan", executed.profile.to_text().splitlines()
+                "plan", profile.to_text().splitlines()
             )
-            result.profile = executed.profile
+            result.profile = profile
             return result
         rendered = explain_select(
             database, statement.query, optimizer_options, parallelism
@@ -173,8 +173,7 @@ def explain_sql(
             profile=True,
             query_text=text,
         )
-        assert result.profile is not None
-        return result.profile.to_text()
+        return _require_profile(result).to_text()
     return explain_select(database, statement, optimizer_options, parallelism)
 
 
@@ -206,11 +205,23 @@ def explain_select(
 ) -> str:
     logical = Binder(database.catalog).bind_select(select)
     optimized = Optimizer(database.catalog, optimizer_options).optimize(logical)
+    # The planner verifies every plan it produces (raising
+    # PlanInvariantError on a violation), so reaching this point means
+    # the plan passed — surface that as the "verified: ok" footer.
     operator = PhysicalPlanner(parallelism=parallelism).plan(optimized)
-    return explain_both(optimized, operator)
+    return explain_both(optimized, operator, verified=True)
 
 
 # -- observability plumbing ----------------------------------------------------
+
+
+def _require_profile(result: QueryResult) -> QueryProfile:
+    """The profile a ``profile=True`` execution must have attached."""
+    if result.profile is None:
+        raise ExecutionError(
+            "profiled execution returned a result without a QueryProfile"
+        )
+    return result.profile
 
 
 def _count_statement(database: "Database", kind: str) -> None:

@@ -26,7 +26,7 @@ import os
 import time
 from typing import Callable, Mapping, Sequence, TYPE_CHECKING
 
-from repro.errors import CatalogError, StorageError, WalError
+from repro.errors import StorageError, WalError
 from repro.storage.catalog import Catalog
 from repro.storage.column import ColumnVector
 from repro.storage.schema import Field, Schema

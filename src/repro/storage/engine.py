@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import WalError
+from repro.errors import StorageError, WalError
 from repro.storage.blocks import DEFAULT_BLOCK_SIZE
 from repro.storage.column import ColumnVector
 from repro.storage.manifest import (
@@ -170,7 +170,11 @@ class DurableEngine(StorageEngine):
     def open_wal(
         self, database: "Database", wal_path: str | os.PathLike | None
     ) -> WriteAheadLog:
-        assert wal_path is None, "durable engine owns the WAL location"
+        if wal_path is not None:
+            raise StorageError(
+                "the durable engine owns the WAL location; do not pass "
+                "wal_path together with path="
+            )
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / SEGMENTS_DIR).mkdir(exist_ok=True)
         return WriteAheadLog(

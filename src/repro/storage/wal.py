@@ -117,7 +117,7 @@ class WriteAheadLog:
         self._records: list[WalRecord] = []
         self._next_lsn = 1
         if self._path is not None and self._path.exists():
-            self._records = self._read_from_disk(tolerate_torn_tail)
+            self._records = self._read_from_disk(self._path, tolerate_torn_tail)
             if self._records:
                 self._next_lsn = self._records[-1].lsn + 1
 
@@ -129,9 +129,10 @@ class WriteAheadLog:
         """Attach (or detach) the registry counting appends."""
         self._metrics = metrics
 
-    def _read_from_disk(self, tolerate_torn_tail: bool) -> list[WalRecord]:
-        assert self._path is not None
-        raw = self._path.read_bytes()
+    def _read_from_disk(
+        self, path: Path, tolerate_torn_tail: bool
+    ) -> list[WalRecord]:
+        raw = path.read_bytes()
         records: list[WalRecord] = []
         previous_lsn = 0
         good_end = 0
@@ -154,8 +155,13 @@ class WriteAheadLog:
                 if tolerate_torn_tail and index == len(nonblank) - 1:
                     # A torn final append: drop it and truncate the file
                     # so subsequent appends start on a clean boundary.
-                    with open(self._path, "r+b") as handle:
+                    # The truncation must be as durable as the appends
+                    # were — a crash right after recovery must not
+                    # resurrect the torn bytes.
+                    with open(path, "r+b") as handle:
                         handle.truncate(good_end)
+                        if self._sync:
+                            os.fsync(handle.fileno())
                     break
                 raise
             previous_lsn = record.lsn

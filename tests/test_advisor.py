@@ -1,7 +1,6 @@
 """Unit tests for the self-management advisor."""
 
 import numpy as np
-import pytest
 
 from repro import Database
 from repro.core.advisor import ConstraintAdvisor

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.compression import (
-    CompressedSortedColumn,
     compress_for,
     compress_sorted,
     compression_report,

@@ -9,7 +9,7 @@ from repro.core.cost_model import CostModel
 from repro.exec.result import collect
 from repro.obs import CardinalityFeedback
 from repro.obs.profile import profile_collect
-from repro.plan.optimizer import Optimizer, OptimizerOptions
+from repro.plan.optimizer import Optimizer
 from repro.plan.physical import PhysicalPlanner
 from repro.sql.binder import Binder
 from repro.sql.parser import parse_statement

@@ -2,7 +2,6 @@
 
 import datetime as dt
 
-import numpy as np
 import pytest
 
 from repro.errors import ExecutionError, TypeMismatchError

@@ -6,8 +6,6 @@ though it may exceed the minimal set (conservatism is allowed and
 measured).
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.constraints import check_nsc, check_nuc

@@ -1,6 +1,5 @@
 """Unit and property tests for HashAggregate and Distinct."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

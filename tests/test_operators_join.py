@@ -1,6 +1,5 @@
 """Unit and property tests for HashJoin and MergeJoin."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,6 +1,5 @@
 """Unit tests for TableScan: batching, ranges, tid, partition boundaries."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PlanError

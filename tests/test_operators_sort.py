@@ -1,14 +1,12 @@
 """Unit and property tests for Sort and MergeUnion."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.exec.operators.merge_union import MergeUnion, merge_permutation
 from repro.exec.operators.scan import TableScan
-from repro.exec.operators.sort import Sort, SortKey, sort_order
+from repro.exec.operators.sort import Sort, SortKey
 from repro.exec.result import collect
-from repro.storage.column import ColumnVector
 from repro.storage.schema import Field, Schema
 from repro.storage.table import Table
 from repro.types import DataType

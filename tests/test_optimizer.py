@@ -5,8 +5,6 @@ same multiset of rows as the unoptimized plan, across random data,
 exception rates, partition counts and pipeline shapes.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.patch_index import PatchIndex, PatchIndexMode
@@ -18,7 +16,6 @@ from repro.plan import logical as lp
 from repro.plan.optimizer import Optimizer, OptimizerOptions, match_scan_pipeline
 from repro.plan.physical import PhysicalPlanner
 from repro.storage.catalog import Catalog
-from repro.storage.column import ColumnVector
 from repro.storage.schema import Field, Schema
 from repro.storage.table import Table
 from repro.types import DataType

@@ -1,6 +1,5 @@
 """Unit tests for the PatchIndex structure."""
 
-import numpy as np
 import pytest
 
 from repro.core.discovery import discover_table_nuc

@@ -1,6 +1,5 @@
 """Tests for the physical planner: scan-range derivation, build side."""
 
-import pytest
 
 from repro.exec.expressions import And, ColumnRef, Comparison, Literal
 from repro.exec.operators import Filter, HashJoin, Project, TableScan

@@ -10,7 +10,11 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro import Database
-from repro.plan.optimizer import OptimizerOptions
+from repro.check import verify_plan
+from repro.plan.optimizer import Optimizer, OptimizerOptions
+from repro.plan.physical import PhysicalPlanner
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_statement
 
 _DB_CACHE: list[Database] = []
 
@@ -121,3 +125,25 @@ class TestFuzz:
         ), query
         if "ORDER BY" in query and "GROUP BY" not in query:
             assert plain.to_pylist() == patched.to_pylist(), query
+
+    @given(queries(), st.sampled_from([1, 4]))
+    @settings(max_examples=60, deadline=None)
+    def test_every_generated_plan_verifies(self, query, parallelism):
+        """Plain and rewritten plans both satisfy the plan invariants.
+
+        The planner already verifies every plan it emits; this calls
+        :func:`repro.check.verify_plan` explicitly so a verifier
+        regression fails here with the offending query attached, not
+        deep inside an unrelated semantics assertion.
+        """
+        db = fuzz_db()
+        statement = parse_statement(query)
+        logical = Binder(db.catalog).bind_select(statement)
+        for options in (
+            OptimizerOptions(use_patch_indexes=False),
+            OptimizerOptions(always_rewrite=True),
+        ):
+            optimized = Optimizer(db.catalog, options).optimize(logical)
+            operator = PhysicalPlanner(parallelism=parallelism).plan(optimized)
+            properties = verify_plan(operator)
+            assert properties.schema.names == operator.schema.names, query

@@ -1,6 +1,5 @@
 """Tests for drift tracking and index rebuilds (self-management upkeep)."""
 
-import pytest
 
 from repro import Database
 from repro.core.advisor import ConstraintAdvisor

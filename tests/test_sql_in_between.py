@@ -1,6 +1,5 @@
 """Tests for IN-list and BETWEEN predicates (parser, binder, execution)."""
 
-import numpy as np
 import pytest
 
 from repro import Database

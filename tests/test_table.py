@@ -1,6 +1,5 @@
 """Unit tests for partitioned tables: loading, rowids, mutations, events."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SchemaError, StorageError

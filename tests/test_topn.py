@@ -1,6 +1,5 @@
 """Tests for the TopN operator and its Limit∘Sort fusion."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

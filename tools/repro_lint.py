@@ -1,0 +1,646 @@
+#!/usr/bin/env python3
+"""Project lint for the repro engine — stdlib-ast static checks.
+
+Usage::
+
+    python tools/repro_lint.py src tests
+
+Walks the given trees (files under a ``tests`` directory or named
+``test_*.py`` are *test* files, everything else is *source*) and
+enforces the project's own invariants, which generic linters cannot
+know.  Exit status is 0 when clean, 1 when any finding is reported.
+
+Rules
+-----
+
+L1  no-bare-assert
+    ``assert`` statements in source files vanish under ``python -O``;
+    load-bearing checks must raise a typed exception from
+    ``repro.errors`` instead.  (Tests may assert freely.)
+
+L2  lock-discipline
+    In ``exec/parallel/`` and ``obs/`` — the only modules touched by
+    concurrent workers — any class that owns a ``threading.Lock`` must
+    mutate its attributes inside a ``with self._lock`` block
+    (constructors are exempt: no other thread can hold a reference
+    yet).  Module-level globals guarded by a module lock get the same
+    treatment inside functions that declare them ``global``.
+
+L3  fsync-discipline
+    In ``storage/wal.py`` / ``storage/engine.py``, every file opened
+    for writing must reach an ``os.fsync`` before the ``with`` block
+    ends, or carry an explicit ``# no-fsync: <reason>`` marker on the
+    ``with`` line — durability claims in the module docstrings must be
+    backed by actual syncs.
+
+L4  metric-namespaces
+    Metric names passed to ``.counter() / .gauge() / .histogram()``
+    must live in a documented namespace (see DESIGN.md §6):
+    {namespaces}.  Dynamic names are resolved one assignment deep
+    within the enclosing function; anything still undecidable is a
+    finding, so no name can dodge the registry taxonomy.
+
+L5  no-deprecated-api
+    The deprecated ``execute_sql`` / ``run_select`` shims must not be
+    used in source (outside their definition site) and may appear in
+    tests only inside a ``pytest.warns`` block that asserts the
+    deprecation fires.
+
+L6  explicit-dtype
+    ``np.empty / np.zeros / np.full / np.ndarray`` in operator code
+    must pass an explicit ``dtype`` — the float64 default silently
+    widens integer columns and object arrays hide type errors until a
+    kernel trips on them.
+
+L7  no-stale-markers
+    No ``TODO`` / ``FIXME`` / ``XXX`` / ``HACK`` comments in source;
+    open work belongs in ROADMAP.md "Open items", not in drive-by
+    markers that rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Documented MetricsRegistry namespaces (DESIGN.md §6).  A metric name
+#: is valid when it equals a namespace or extends it with a dot.
+METRIC_NAMESPACES = (
+    "wal",
+    "checkpoint",
+    "recovery",
+    "storage",
+    "query",
+    "statements",
+    "patchselect",
+    "parallel",
+    "patchindex",
+    "maintenance",
+)
+
+__doc__ = __doc__.format(namespaces=", ".join(METRIC_NAMESPACES))
+
+#: Directories whose classes are touched by concurrent workers (L2).
+LOCK_CHECKED_DIRS = ("exec/parallel", "obs")
+
+#: Files whose write paths must fsync (L3).
+FSYNC_CHECKED_FILES = ("storage/wal.py", "storage/engine.py")
+
+#: Deprecated module-level entry points (L5) and their definition site.
+DEPRECATED_NAMES = frozenset({"execute_sql", "run_select"})
+DEPRECATED_DEFINITION_FILE = "sql/session.py"
+
+#: Method names that mutate their receiver in place (L2).
+MUTATING_METHODS = frozenset(
+    {
+        "append", "add", "extend", "update", "pop", "popitem", "clear",
+        "remove", "discard", "insert", "setdefault", "sort", "reverse",
+    }
+)
+
+#: ndarray constructors that must pass dtype in operator code (L6).
+NDARRAY_CONSTRUCTORS = frozenset({"empty", "zeros", "full", "ndarray"})
+
+MARKER_WORDS = ("TODO", "FIXME", "XXX", "HACK")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def iter_python_files(roots: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for root in roots:
+        path = Path(root)
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        else:
+            files.extend(sorted(path.rglob("*.py")))
+    return files
+
+
+def is_test_file(path: Path) -> bool:
+    return "tests" in path.parts or path.name.startswith("test_")
+
+
+def posix(path: Path) -> str:
+    return path.as_posix()
+
+
+# -- L1 ------------------------------------------------------------------------
+
+
+def check_bare_asserts(path: Path, tree: ast.AST) -> list[Finding]:
+    return [
+        Finding(
+            path,
+            node.lineno,
+            "L1",
+            "bare assert disappears under -O; raise a typed "
+            "repro.errors exception",
+        )
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Assert)
+    ]
+
+
+# -- L2 ------------------------------------------------------------------------
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    """``threading.Lock()`` / ``threading.RLock()`` / ``Lock()``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in ("Lock", "RLock")
+    return isinstance(func, ast.Name) and func.id in ("Lock", "RLock")
+
+
+def _with_uses_lock(node: ast.With, lock_names: set[str]) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Attribute) and expr.attr in lock_names:
+            return True
+        if isinstance(expr, ast.Name) and expr.id in lock_names:
+            return True
+    return False
+
+
+def _self_attribute(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _flag_unlocked_writes(
+    path: Path,
+    body: list[ast.stmt],
+    lock_names: set[str],
+    target_is_shared,
+    locked: bool,
+    findings: list[Finding],
+) -> None:
+    """Walk statements, flagging shared-state mutation outside the lock."""
+    for statement in body:
+        if isinstance(statement, ast.With) and _with_uses_lock(
+            statement, lock_names
+        ):
+            _flag_unlocked_writes(
+                path, statement.body, lock_names, target_is_shared, True,
+                findings,
+            )
+            continue
+        if not locked:
+            for node in _statement_heads(statement):
+                name = _written_shared_name(node, target_is_shared)
+                if name is not None:
+                    findings.append(
+                        Finding(
+                            path,
+                            node.lineno,
+                            "L2",
+                            f"mutation of shared state {name!r} outside "
+                            "the owning lock",
+                        )
+                    )
+        for child_body in _nested_bodies(statement):
+            _flag_unlocked_writes(
+                path, child_body, lock_names, target_is_shared, locked,
+                findings,
+            )
+
+
+def _statement_heads(statement: ast.stmt) -> list[ast.AST]:
+    """The statement itself plus its non-body expressions."""
+    heads: list[ast.AST] = [statement]
+    if isinstance(statement, ast.Expr):
+        heads.append(statement.value)
+    return heads
+
+
+def _nested_bodies(statement: ast.stmt) -> list[list[ast.stmt]]:
+    bodies: list[list[ast.stmt]] = []
+    for field in ("body", "orelse", "finalbody"):
+        nested = getattr(statement, field, None)
+        if nested:
+            bodies.append(list(nested))
+    for handler in getattr(statement, "handlers", []) or []:
+        bodies.append(list(handler.body))
+    return bodies
+
+
+def _written_shared_name(node: ast.AST, target_is_shared) -> str | None:
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            name = target_is_shared(target)
+            if name is not None:
+                return name
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return target_is_shared(node.target)
+    elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+        func = node.value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+        ):
+            return target_is_shared(func.value)
+    return None
+
+
+def check_lock_discipline(path: Path, tree: ast.Module) -> list[Finding]:
+    if not any(part in posix(path) for part in LOCK_CHECKED_DIRS):
+        return []
+    findings: list[Finding] = []
+
+    # Module-level lock guarding module globals.
+    module_locks = {
+        target.id
+        for node in tree.body
+        if isinstance(node, ast.Assign) and _is_lock_factory(node.value)
+        for target in node.targets
+        if isinstance(target, ast.Name)
+    }
+    if module_locks:
+        for node in tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared_globals = {
+                name
+                for stmt in ast.walk(node)
+                if isinstance(stmt, ast.Global)
+                for name in stmt.names
+            }
+            if not declared_globals:
+                continue
+
+            def global_target(target, names=declared_globals):
+                if isinstance(target, ast.Name) and target.id in names:
+                    return target.id
+                return None
+
+            _flag_unlocked_writes(
+                path, node.body, module_locks, global_target, False, findings
+            )
+
+    # Classes owning an instance lock.
+    for class_node in tree.body:
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        instance_locks = {
+            attr
+            for node in ast.walk(class_node)
+            if isinstance(node, ast.Assign) and _is_lock_factory(node.value)
+            for target in node.targets
+            if (attr := _self_attribute(target)) is not None
+        }
+        if not instance_locks:
+            continue
+        for method in class_node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in ("__init__", "__post_init__"):
+                continue
+            _flag_unlocked_writes(
+                path, method.body, instance_locks, _self_attribute, False,
+                findings,
+            )
+    return findings
+
+
+# -- L3 ------------------------------------------------------------------------
+
+
+def _open_write_mode(call: ast.Call) -> bool:
+    if not (isinstance(call.func, ast.Name) and call.func.id == "open"):
+        return False
+    mode = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False  # default "r": read-only
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return True  # dynamic mode: treat as a write to stay safe
+    return any(flag in mode.value for flag in ("w", "a", "+", "x"))
+
+
+def _contains_fsync(body: list[ast.stmt]) -> bool:
+    for statement in body:
+        for node in ast.walk(statement):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "fsync"
+            ):
+                return True
+    return False
+
+
+def check_fsync_discipline(
+    path: Path, tree: ast.AST, source_lines: list[str]
+) -> list[Finding]:
+    if not posix(path).endswith(FSYNC_CHECKED_FILES):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.With):
+            continue
+        opens_for_write = any(
+            isinstance(item.context_expr, ast.Call)
+            and _open_write_mode(item.context_expr)
+            for item in node.items
+        )
+        if not opens_for_write or _contains_fsync(node.body):
+            continue
+        line = source_lines[node.lineno - 1]
+        if "# no-fsync:" in line:
+            continue
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                "L3",
+                "file opened for writing without an os.fsync on the "
+                "write path; sync it or mark the line '# no-fsync: "
+                "<reason>'",
+            )
+        )
+    return findings
+
+
+# -- L4 ------------------------------------------------------------------------
+
+
+def _literal_prefix(node: ast.AST) -> str | None:
+    """Leading literal text of a str constant or f-string, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        head = node.values[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            return head.value
+    return None
+
+
+def _namespace_ok(prefix: str, complete: bool) -> bool:
+    for namespace in METRIC_NAMESPACES:
+        if complete and prefix == namespace:
+            return True
+        if prefix.startswith(namespace + "."):
+            return True
+        # A partial literal may stop inside the namespace word
+        # (e.g. an f-string head "wal" + formatted tail).
+        if not complete and namespace.startswith(prefix):
+            return True
+    return False
+
+
+def check_metric_namespaces(path: Path, tree: ast.AST) -> list[Finding]:
+    findings: list[Finding] = []
+    for scope in ast.walk(tree):
+        if not isinstance(
+            scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        ):
+            continue
+        # One-assignment-deep resolution for dynamic name prefixes.
+        local_prefixes: dict[str, str] = {}
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                prefix = _literal_prefix(node.value)
+                if isinstance(target, ast.Name) and prefix is not None:
+                    local_prefixes[target.id] = prefix
+        for node in ast.walk(scope):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("counter", "gauge", "histogram")
+                and node.args
+            ):
+                continue
+            name_arg = node.args[0]
+            prefix = _literal_prefix(name_arg)
+            complete = isinstance(name_arg, ast.Constant)
+            if prefix is None and isinstance(name_arg, ast.JoinedStr):
+                head = name_arg.values[0]
+                if isinstance(head, ast.FormattedValue) and isinstance(
+                    head.value, ast.Name
+                ):
+                    prefix = local_prefixes.get(head.value.id)
+                    complete = False
+            if prefix is None:
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        "L4",
+                        f"metric name passed to .{node.func.attr}() is "
+                        "not statically resolvable; use a literal "
+                        "namespace prefix",
+                    )
+                )
+            elif not _namespace_ok(prefix, complete):
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        "L4",
+                        f"metric name {prefix!r} is outside the "
+                        "documented namespaces "
+                        f"({', '.join(METRIC_NAMESPACES)})",
+                    )
+                )
+    return findings
+
+
+# -- L5 ------------------------------------------------------------------------
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_pytest_warns(node: ast.With) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("warns", "deprecated_call")
+        ):
+            return True
+    return False
+
+
+def _flag_deprecated_calls(
+    path: Path, node: ast.AST, warned: bool, findings: list[Finding]
+) -> None:
+    if isinstance(node, ast.With) and _is_pytest_warns(node):
+        warned = True
+    if (
+        not warned
+        and isinstance(node, ast.Call)
+        and _call_name(node) in DEPRECATED_NAMES
+    ):
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                "L5",
+                f"call to deprecated {_call_name(node)}() outside a "
+                "pytest.warns(DeprecationWarning) block",
+            )
+        )
+    for child in ast.iter_child_nodes(node):
+        _flag_deprecated_calls(path, child, warned, findings)
+
+
+def check_deprecated_api(
+    path: Path, tree: ast.Module, is_test: bool
+) -> list[Finding]:
+    if is_test:
+        findings: list[Finding] = []
+        _flag_deprecated_calls(path, tree, False, findings)
+        return findings
+    if posix(path).endswith(DEPRECATED_DEFINITION_FILE):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        name = None
+        if isinstance(node, ast.Name) and node.id in DEPRECATED_NAMES:
+            name = node.id
+        elif isinstance(node, ast.Attribute) and node.attr in DEPRECATED_NAMES:
+            name = node.attr
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in DEPRECATED_NAMES:
+                    name = alias.name
+        if name is not None:
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "L5",
+                    f"in-tree use of deprecated {name}; call "
+                    "Database.sql() instead",
+                )
+            )
+    return findings
+
+
+# -- L6 ------------------------------------------------------------------------
+
+
+def check_explicit_dtype(path: Path, tree: ast.AST) -> list[Finding]:
+    if "exec/operators" not in posix(path):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in NDARRAY_CONSTRUCTORS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in ("np", "numpy")
+        ):
+            continue
+        has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+        # np.zeros(shape, dtype) / np.full(shape, fill, dtype) also
+        # accept dtype positionally.
+        positional_slot = {"empty": 2, "zeros": 2, "ndarray": 2, "full": 3}
+        has_dtype = has_dtype or len(node.args) >= positional_slot[
+            node.func.attr
+        ]
+        if not has_dtype:
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "L6",
+                    f"np.{node.func.attr}() without an explicit dtype "
+                    "defaults to float64 and hides column-type errors",
+                )
+            )
+    return findings
+
+
+# -- L7 ------------------------------------------------------------------------
+
+
+def check_stale_markers(path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    with tokenize.open(path) as handle:
+        for token in tokenize.generate_tokens(handle.readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            if any(word in token.string for word in MARKER_WORDS):
+                findings.append(
+                    Finding(
+                        path,
+                        token.start[0],
+                        "L7",
+                        "stale work marker in source; track it in "
+                        "ROADMAP.md 'Open items' instead",
+                    )
+                )
+    return findings
+
+
+# -- driver --------------------------------------------------------------------
+
+
+def lint_file(path: Path) -> list[Finding]:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    is_test = is_test_file(path)
+    findings: list[Finding] = []
+    findings.extend(check_deprecated_api(path, tree, is_test))
+    if is_test:
+        return findings
+    findings.extend(check_bare_asserts(path, tree))
+    findings.extend(check_lock_discipline(path, tree))
+    findings.extend(check_fsync_discipline(path, tree, source.splitlines()))
+    findings.extend(check_metric_namespaces(path, tree))
+    findings.extend(check_explicit_dtype(path, tree))
+    findings.extend(check_stale_markers(path))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = argv or ["src", "tests"]
+    findings: list[Finding] = []
+    checked = 0
+    for path in iter_python_files(roots):
+        checked += 1
+        findings.extend(lint_file(path))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
+    for finding in findings:
+        print(finding.render())
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"repro_lint: {checked} files checked, {status}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
