@@ -1,20 +1,25 @@
-"""Serial vs morsel-parallel speedup on a distinct-over-NUC query.
+"""Serial vs thread vs process parallel speedup on a distinct-over-NUC query.
 
 Measures the acceptance scenario of the parallel executor: a
 ``COUNT(DISTINCT c)`` over a nearly-unique 10M-row column carrying a
 NUC PatchIndex, so the plan composes the paper's distinct rewrite
 (§VI-B1: exclude-patches branch + distinct over the patches) with the
-morsel-driven Exchange.  Results are asserted byte-identical between
-the serial and parallel plans — including the use_patches /
+morsel-driven Exchange.  The table lives in a *durable, memory-mapped*
+data directory so the process backend can attach it from worker
+processes; results are asserted byte-identical across the serial plan
+and both parallel backends — including the use_patches /
 exclude_patches branches and a scan-range-pruned variant — and the
-speedup is recorded to ``BENCH_parallel.json``.
+thread-vs-process ablation is recorded to ``BENCH_parallel.json``.
+
+On a single-core machine a "speedup" is meaningless (every backend
+degenerates to one worker), so the headline speedup is refused and the
+payload carries ``"degenerate": true`` instead.
 
 Run:  PYTHONPATH=src python benchmarks/bench_parallel_scan.py
 
 Knobs: ``REPRO_BENCH_PARALLEL_ROWS`` (default 10_000_000),
-``REPRO_THREADS`` (parallel worker count, default: CPU count).
-Meaningful speedup needs a multi-core machine; on one core the cost
-model (correctly) refuses to parallelize, which the script reports.
+``REPRO_THREADS`` (worker count, default: CPU count),
+``REPRO_PARALLEL_START_METHOD`` (worker start method, default fork).
 """
 
 from __future__ import annotations
@@ -22,12 +27,18 @@ from __future__ import annotations
 import json
 import os
 import sys
+import tempfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.bench.harness import measure
-from repro.exec.parallel import default_parallelism, shutdown_pool
+from repro.exec.parallel import (
+    default_parallelism,
+    shutdown_pool,
+    shutdown_process_pool,
+    start_method,
+)
 from repro.storage.column import ColumnVector
 from repro.storage.database import Database
 from repro.storage.schema import Field, Schema
@@ -38,7 +49,7 @@ EXCEPTION_RATE = 0.001  # nearly unique: NUC with 0.1 % patches
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 QUERIES = [
-    # The headline query the speedup is measured on.
+    # The headline query the ablation is measured on.
     "SELECT COUNT(DISTINCT c) AS n FROM t",
     # Equivalence-only variants: full DISTINCT output (exercises the
     # ordered gather), and a block-pruned range restriction.
@@ -48,18 +59,21 @@ QUERIES = [
 ]
 
 
-def build_database(rows: int) -> Database:
+def build_database(rows: int, root: str) -> Database:
     rng = np.random.default_rng(20)
     values = rng.permutation(rows).astype(np.int64)
     duplicates = max(1, int(rows * EXCEPTION_RATE))
     # Overwrite a random sample with repeated values -> NUC patches.
     positions = rng.choice(rows, duplicates, replace=False)
     values[positions] = values[rng.integers(0, rows, duplicates)]
-    database = Database()
+    database = Database(path=root, mmap=True, sync=False)
     table = database.create_table(
         "t", Schema([Field("c", DataType.INT64)]), partition_count=8
     )
     table.load_columns({"c": ColumnVector(DataType.INT64, values)})
+    # Checkpoint before creating the index: worker processes attach the
+    # checkpointed segments zero-copy instead of replaying the load.
+    database.checkpoint()
     database.create_patch_index("pi", "t", "c", kind="unique")
     return database
 
@@ -81,54 +95,86 @@ def results_identical(left, right) -> bool:
 
 
 def main() -> int:
-    threads = default_parallelism()
-    print(f"rows={ROWS}  threads={threads}  cpus={os.cpu_count()}")
-    database = build_database(ROWS)
-
-    failures = []
-    for query in QUERIES:
-        serial = database.sql(query, parallelism=1)
-        parallel = database.sql(query, parallelism=max(2, threads))
-        if not results_identical(serial, parallel):
-            failures.append(query)
-            print(f"MISMATCH: {query}")
-        else:
-            print(f"identical: {query}")
-
-    headline = QUERIES[0]
-    plan = database.explain(headline, parallelism=threads)
-    parallel_planned = "dop=" in plan
-    serial_run = measure(lambda: database.sql(headline, parallelism=1))
-    parallel_run = measure(lambda: database.sql(headline, parallelism=threads))
-    speedup = serial_run.seconds / parallel_run.seconds
-    print(plan)
+    cpus = os.cpu_count() or 1
+    dop = max(2, default_parallelism())
+    degenerate = cpus <= 1
     print(
-        f"serial   {serial_run.seconds * 1e3:9.1f} ms\n"
-        f"parallel {parallel_run.seconds * 1e3:9.1f} ms  "
-        f"({speedup:.2f}x, dop={threads})"
+        f"rows={ROWS}  dop={dop}  cpus={cpus}  "
+        f"start_method={start_method()}"
     )
-    if not parallel_planned:
-        print(
-            "note: cost model kept the plan serial "
-            "(single core or input below breakeven)"
-        )
+    with tempfile.TemporaryDirectory(prefix="bench_parallel_") as root:
+        database = build_database(ROWS, root)
 
-    payload = {
-        "rows": ROWS,
-        "threads": threads,
-        "cpu_count": os.cpu_count(),
-        "exception_rate": EXCEPTION_RATE,
-        "query": headline,
-        "serial_s": serial_run.seconds,
-        "parallel_s": parallel_run.seconds,
-        "speedup": speedup,
-        "parallel_planned": parallel_planned,
-        "identical_results": not failures,
-        "queries_checked": len(QUERIES),
-    }
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {OUTPUT}")
-    shutdown_pool()
+        failures = []
+        for query in QUERIES:
+            serial = database.sql(query, parallelism=1)
+            threaded = database.sql(query, parallelism=dop, backend="thread")
+            processed = database.sql(query, parallelism=dop, backend="process")
+            if results_identical(serial, threaded) and results_identical(
+                serial, processed
+            ):
+                print(f"identical: {query}")
+            else:
+                failures.append(query)
+                print(f"MISMATCH: {query}")
+
+        headline = QUERIES[0]
+        plan = database.explain(headline, parallelism=dop, backend="process")
+        parallel_planned = "dop=" in plan
+        process_planned = "backend=process" in plan
+        serial_run = measure(lambda: database.sql(headline, parallelism=1))
+        thread_run = measure(
+            lambda: database.sql(headline, parallelism=dop, backend="thread")
+        )
+        process_run = measure(
+            lambda: database.sql(headline, parallelism=dop, backend="process")
+        )
+        speedup_thread = serial_run.seconds / thread_run.seconds
+        speedup_process = serial_run.seconds / process_run.seconds
+        print(plan)
+        print(
+            f"serial   {serial_run.seconds * 1e3:9.1f} ms\n"
+            f"thread   {thread_run.seconds * 1e3:9.1f} ms  "
+            f"({speedup_thread:.2f}x, dop={dop})\n"
+            f"process  {process_run.seconds * 1e3:9.1f} ms  "
+            f"({speedup_process:.2f}x, dop={dop})"
+        )
+        if degenerate:
+            print(
+                "note: single-core machine — headline speedup refused "
+                "(degenerate)"
+            )
+        if not parallel_planned:
+            print(
+                "note: cost model kept the plan serial "
+                "(input below breakeven)"
+            )
+
+        payload = {
+            "rows": ROWS,
+            "dop": dop,
+            "cpu_count": cpus,
+            "degenerate": degenerate,
+            "start_method": start_method(),
+            "exception_rate": EXCEPTION_RATE,
+            "query": headline,
+            "serial_s": serial_run.seconds,
+            "thread_s": thread_run.seconds,
+            "process_s": process_run.seconds,
+            "speedup_thread": speedup_thread,
+            "speedup_process": speedup_process,
+            # The headline number: refused on degenerate machines.
+            "speedup": None if degenerate else speedup_process,
+            "parallel_planned": parallel_planned,
+            "process_planned": process_planned,
+            "identical_results": not failures,
+            "queries_checked": len(QUERIES),
+        }
+        OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {OUTPUT}")
+        database.close()
+        shutdown_process_pool()
+        shutdown_pool()
     return 1 if failures else 0
 
 

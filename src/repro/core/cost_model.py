@@ -86,6 +86,13 @@ class CostModel:
     #: Per-morsel dispatch/gather overhead (one pool task plus one
     #: fragment operator tree), in row-cost units.
     morsel_dispatch_weight: float = 512.0
+    #: Fixed cost of fanning out to the worker-*process* pool: pool
+    #: warm-up amortized over its lifetime plus the engine attach the
+    #: first task per snapshot pays in each worker.
+    process_startup_weight: float = 65536.0
+    #: Per-morsel cost of the process backend: task pickling, the shm
+    #: (or pickle) result hop, and decode on gather.
+    process_dispatch_weight: float = 2048.0
 
     # -- use cases -----------------------------------------------------
 
@@ -134,31 +141,40 @@ class CostModel:
         return CostEstimate("join", plain, patched)
 
     def parallel_scan(
-        self, n: int, workers: int, morsel_count: int
+        self, n: int, workers: int, morsel_count: int, backend: str = "thread"
     ) -> CostEstimate:
         """Serial vs morsel-parallel execution of an ``n``-row pipeline.
 
         The parallel plan divides the per-row work across *workers* but
         pays a fixed fan-out cost plus a per-morsel dispatch cost; small
-        inputs therefore stay serial.  ``patched_cost`` plays the role
-        of the parallel plan.
+        inputs therefore stay serial.  The *backend* selects the weight
+        pair — the process backend's fan-out and dispatch are heavier
+        (process warm-up, task pickling, the shm result hop), so its
+        breakeven cardinality is higher.  ``patched_cost`` plays the
+        role of the parallel plan.
         """
         workers = max(1, workers)
+        if backend == "process":
+            startup = self.process_startup_weight
+            dispatch = self.process_dispatch_weight
+        else:
+            startup = self.parallel_startup_weight
+            dispatch = self.morsel_dispatch_weight
         plain = self.scan_weight * n
         parallel = (
             self.scan_weight * n / workers
-            + self.morsel_dispatch_weight * morsel_count
-            + self.parallel_startup_weight
+            + dispatch * morsel_count
+            + startup
         )
         return CostEstimate("parallel_scan", plain, parallel)
 
     def should_parallelize(
-        self, n: int, workers: int, morsel_count: int
+        self, n: int, workers: int, morsel_count: int, backend: str = "thread"
     ) -> bool:
         """True when the morsel-parallel plan is estimated cheaper."""
         if workers <= 1 or morsel_count < 2:
             return False
-        return self.parallel_scan(n, workers, morsel_count).use_patches
+        return self.parallel_scan(n, workers, morsel_count, backend).use_patches
 
     # -- decision surface -------------------------------------------------
 

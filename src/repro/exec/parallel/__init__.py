@@ -1,17 +1,24 @@
 """Morsel-driven parallel execution (paper §VI context: Actian Vector's
-parallel scan infrastructure, realized here as a thread pool over
+parallel scan infrastructure, realized here as worker pools over
 contiguous rowid morsels).
 
 Components:
 
-- :mod:`~repro.exec.parallel.pool` — the shared worker pool and the
+- :mod:`~repro.exec.parallel.pool` — the shared thread pool and the
   ``REPRO_THREADS`` / CPU-count parallelism default;
 - :mod:`~repro.exec.parallel.morsels` — the morsel dispatcher splitting
   (range-restricted) scans into partition/block-aligned work units;
 - :mod:`~repro.exec.parallel.exchange` — the Exchange scatter/gather
   operator running a pipeline fragment per morsel;
 - :mod:`~repro.exec.parallel.terminals` — parallel-aware blocking
-  operators (distinct, two-phase aggregation, sort + k-way merge).
+  operators (distinct, two-phase aggregation, sort + k-way merge);
+- :mod:`~repro.exec.parallel.procpool` — the process execution backend
+  (``REPRO_PARALLEL_BACKEND``): a persistent worker-process pool plus
+  the per-operator transport with serial-retry failure recovery;
+- :mod:`~repro.exec.parallel.worker` — the picklable fragment/partial
+  specs and the worker-process entrypoint attaching mmap'd segments;
+- :mod:`~repro.exec.parallel.shm` — the shared-memory result transport
+  with its pickle fallback for small or ragged payloads.
 """
 
 from repro.exec.parallel.exchange import BatchSource, Exchange
@@ -26,11 +33,28 @@ from repro.exec.parallel.pool import (
     get_pool,
     shutdown_pool,
 )
+from repro.exec.parallel.procpool import (
+    ProcessTransport,
+    default_backend,
+    get_process_pool,
+    reset_process_pool,
+    shutdown_process_pool,
+    start_method,
+)
 from repro.exec.parallel.terminals import (
     ParallelAggregate,
     ParallelDistinct,
     ParallelSort,
     merge_sorted_runs,
+)
+from repro.exec.parallel.worker import (
+    EngineSnapshot,
+    FragmentSpec,
+    MorselTask,
+    OpSpec,
+    PartialSpec,
+    PatchSpec,
+    run_morsel_task,
 )
 
 __all__ = [
@@ -43,8 +67,21 @@ __all__ = [
     "default_parallelism",
     "get_pool",
     "shutdown_pool",
+    "ProcessTransport",
+    "default_backend",
+    "get_process_pool",
+    "reset_process_pool",
+    "shutdown_process_pool",
+    "start_method",
     "ParallelAggregate",
     "ParallelDistinct",
     "ParallelSort",
     "merge_sorted_runs",
+    "EngineSnapshot",
+    "FragmentSpec",
+    "MorselTask",
+    "OpSpec",
+    "PartialSpec",
+    "PatchSpec",
+    "run_morsel_task",
 ]

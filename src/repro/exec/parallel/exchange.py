@@ -23,15 +23,14 @@ morsel parallelism yield real wall-clock speedups.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Sequence
-
-from concurrent.futures import Future
+from typing import Any, Callable, Sequence
 
 from repro.errors import PlanError
 from repro.exec.batch import RecordBatch
 from repro.exec.operators.base import Operator
 from repro.exec.parallel.morsels import Morsel
 from repro.exec.parallel.pool import get_pool
+from repro.exec.parallel.worker import PartialSpec
 from repro.storage.schema import Schema
 
 #: Builds one pipeline-fragment operator restricted to the given
@@ -105,7 +104,12 @@ class Exchange(Operator):
         #: ``repro.obs.profile.ParallelObs``).  ``None`` means submit
         #: directly with zero accounting.
         self.obs = None
-        self._futures: deque[Future] | None = None
+        #: Execution backend: ``None`` runs morsels on the shared thread
+        #: pool; the planner attaches a
+        #: :class:`~repro.exec.parallel.procpool.ProcessTransport` to
+        #: route them to worker processes instead.
+        self.backend: Any = None
+        self._futures: deque[Any] | None = None
         self._pending: deque[RecordBatch] = deque()
 
     @property
@@ -119,6 +123,14 @@ class Exchange(Operator):
         # Note: the template stays closed — workers build their own
         # fragments.  All morsels are submitted up front; the pool's
         # worker count bounds actual concurrency.
+        if self.backend is not None:
+            self._futures = deque(
+                self.backend.submit_all(
+                    self.morsels, self.fragment_factory, self.obs
+                )
+            )
+            self._pending = deque()
+            return
         pool = get_pool(self.parallelism)
         if self.obs is None:
             self._futures = deque(
@@ -148,5 +160,13 @@ class Exchange(Operator):
             self._futures = None
         self._pending = deque()
 
+    def partial_spec(self) -> PartialSpec:
+        """Worker-side partial wrap for the process backend (none)."""
+        return PartialSpec()
+
     def label(self) -> str:
-        return f"Exchange(dop={self.parallelism}, morsels={len(self.morsels)})"
+        suffix = ", backend=process" if self.backend is not None else ""
+        return (
+            f"Exchange(dop={self.parallelism}, "
+            f"morsels={len(self.morsels)}{suffix})"
+        )

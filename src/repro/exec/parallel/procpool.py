@@ -1,0 +1,280 @@
+"""Process-backed morsel execution: shared pool, transport, recovery.
+
+The process backend sidesteps the GIL for the fragment work the thread
+pool cannot scale (hashing, per-row Python dispatch): a persistent
+:class:`~concurrent.futures.ProcessPoolExecutor` — lazily created,
+reused across queries, grown on demand like the thread pool in
+:mod:`repro.exec.parallel.pool` — runs
+:func:`~repro.exec.parallel.worker.run_morsel_task` per morsel, and the
+results come back through shared memory (:mod:`repro.exec.parallel.shm`)
+with a pickle fallback for small or ragged payloads.
+
+Two environment knobs:
+
+- ``REPRO_PARALLEL_BACKEND`` — ``thread`` | ``process`` | ``auto``
+  (default ``auto``): the planner's default backend choice.
+- ``REPRO_PARALLEL_START_METHOD`` — ``fork`` | ``spawn`` (default:
+  ``fork`` where available): how worker processes are started.  The
+  worker entrypoint and every task spec are importable/picklable, so
+  both methods behave identically; ``spawn`` is slower to warm up but
+  immune to fork-unsafe parent state.
+
+Failure containment: a worker dying mid-query (killed, OOM) breaks the
+whole executor — every pending future raises ``BrokenProcessPool``
+rather than hanging.  Each task handle then unlinks the task's shm block
+by its deterministic name, retries the morsel *serially* on the
+coordinator thread with the operator's local fragment factory, bumps the
+``parallel.worker_failures`` / ``parallel.serial_retries`` counters, and
+the broken pool is replaced so the next query starts clean.  Genuine
+query errors (bad expressions) reproduce in the serial retry and
+propagate normally.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import PlanError
+from repro.exec.batch import RecordBatch
+from repro.exec.parallel.exchange import FragmentFactory, run_fragment
+from repro.exec.parallel.pool import default_parallelism
+from repro.exec.parallel.shm import decode, unlink_block
+from repro.exec.parallel.worker import (
+    EngineSnapshot,
+    FragmentSpec,
+    MorselTask,
+    PartialSpec,
+    run_morsel_task,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.parallel.morsels import Morsel
+    from repro.obs.metrics import MetricsRegistry
+
+BACKENDS = ("thread", "process", "auto")
+
+#: Test hook: when set ("exit" | "unpicklable-error"), every submitted
+#: task carries the fault and the worker fails accordingly.
+FAULT_INJECTION: str | None = None
+
+
+def default_backend() -> str:
+    """Backend from ``REPRO_PARALLEL_BACKEND``, default ``auto``."""
+    env = os.environ.get("REPRO_PARALLEL_BACKEND")
+    if env is None:
+        return "auto"
+    value = env.strip().lower()
+    if value not in BACKENDS:
+        raise PlanError(
+            "REPRO_PARALLEL_BACKEND must be thread, process or auto, "
+            f"got {env!r}"
+        )
+    return value
+
+
+def start_method() -> str:
+    """Start method from ``REPRO_PARALLEL_START_METHOD`` (default fork)."""
+    available = multiprocessing.get_all_start_methods()
+    env = os.environ.get("REPRO_PARALLEL_START_METHOD")
+    if env is not None:
+        value = env.strip().lower()
+        if value not in available:
+            raise PlanError(
+                f"REPRO_PARALLEL_START_METHOD {env!r} is not available "
+                f"on this platform (choose from {', '.join(available)})"
+            )
+        return value
+    return "fork" if "fork" in available else "spawn"
+
+
+_lock = threading.Lock()
+_pool: ProcessPoolExecutor | None = None
+_pool_size = 0
+_pool_method: str | None = None
+_task_seq = 0
+
+
+def get_process_pool(workers: int | None = None) -> ProcessPoolExecutor:
+    """The shared worker-process pool, grown to at least *workers*."""
+    wanted = workers if workers is not None else default_parallelism()
+    wanted = max(1, wanted)
+    method = start_method()
+    global _pool, _pool_size, _pool_method
+    with _lock:
+        if _pool is None or _pool_size < wanted or _pool_method != method:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ProcessPoolExecutor(
+                max_workers=wanted,
+                mp_context=multiprocessing.get_context(method),
+            )
+            _pool_size = wanted
+            _pool_method = method
+        return _pool
+
+
+def reset_process_pool() -> None:
+    """Discard the pool (broken-pool recovery); rebuilt lazily."""
+    global _pool, _pool_size, _pool_method
+    with _lock:
+        if _pool is not None:
+            _pool.shutdown(wait=False)
+        _pool = None
+        _pool_size = 0
+        _pool_method = None
+
+
+def shutdown_process_pool() -> None:
+    """Tear down the shared pool (tests / interpreter shutdown)."""
+    global _pool, _pool_size, _pool_method
+    with _lock:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = None
+        _pool_size = 0
+        _pool_method = None
+
+
+def _next_shm_name() -> str:
+    """Deterministic per-task shm name the coordinator can clean up."""
+    global _task_seq
+    with _lock:
+        _task_seq += 1
+        seq = _task_seq
+    return f"repro_{os.getpid()}_{seq}"
+
+
+class ProcessTransport:
+    """Per-operator bridge between an Exchange/terminal and the pool.
+
+    The planner attaches one instance (carrying the engine snapshot and
+    the fragment/partial specs) to each parallel operator it routes to
+    the process backend; the operator's ``open`` then calls
+    :meth:`submit_all` instead of submitting thread tasks.
+    """
+
+    def __init__(
+        self,
+        snapshot: EngineSnapshot,
+        fragment: FragmentSpec,
+        parallelism: int,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        self.snapshot = snapshot
+        self.fragment = fragment
+        #: Set by the planner from the operator's ``partial_spec()``.
+        self.partial = PartialSpec()
+        self.parallelism = parallelism
+        self.metrics = metrics
+
+    def submit_all(
+        self,
+        morsels: Sequence["Morsel"],
+        local_factory: FragmentFactory,
+        obs: Any,
+    ) -> list["_TaskHandle"]:
+        """Submit every morsel; returns gather handles in morsel order.
+
+        *local_factory* is the operator's thread-path fragment factory
+        (with the partial wrap applied for terminals) — used only for
+        the serial retry after a worker failure, so failures keep the
+        exact thread-path semantics.
+        """
+        pool = get_process_pool(self.parallelism)
+        handles: list[_TaskHandle] = []
+        for morsel in morsels:
+            shm_name = _next_shm_name()
+            task = MorselTask(
+                self.snapshot,
+                self.fragment,
+                self.partial,
+                tuple(morsel.ranges),
+                shm_name,
+                FAULT_INJECTION,
+            )
+            try:
+                future: Future = pool.submit(run_morsel_task, task)
+            except RuntimeError:
+                # The shared pool broke under an earlier query and was
+                # not replaced yet; rebuild once and resubmit.
+                reset_process_pool()
+                pool = get_process_pool(self.parallelism)
+                future = pool.submit(run_morsel_task, task)
+            handles.append(
+                _TaskHandle(
+                    self, morsel, local_factory, future, shm_name, obs
+                )
+            )
+        return handles
+
+    def _note_failure(self, broken: bool) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("parallel.worker_failures").inc()
+            self.metrics.counter("parallel.serial_retries").inc()
+        if broken:
+            reset_process_pool()
+
+
+class _TaskHandle:
+    """Future-like gather handle: decode on success, retry on failure."""
+
+    def __init__(
+        self,
+        transport: ProcessTransport,
+        morsel: "Morsel",
+        local_factory: FragmentFactory,
+        future: Future,
+        shm_name: str,
+        obs: Any,
+    ):
+        self._transport = transport
+        self._morsel = morsel
+        self._local_factory = local_factory
+        self._future = future
+        self._shm_name = shm_name
+        self._obs = obs
+        self._submitted = time.perf_counter()
+
+    def result(self) -> list[RecordBatch]:
+        try:
+            payload = self._future.result()
+            batches = decode(payload)
+        except Exception as exc:
+            # Worker death (BrokenProcessPool), an unpicklable worker
+            # error, or a genuine query error: clean up the task's shm
+            # block and rerun the morsel serially.  Real query errors
+            # reproduce here and propagate with their true type.
+            unlink_block(self._shm_name)
+            self._transport._note_failure(isinstance(exc, BrokenExecutor))
+            return run_fragment(self._local_factory, self._morsel)
+        if self._obs is not None:
+            wait = max(
+                0.0, float(payload["started_s"]) - self._submitted
+            )
+            self._obs.record_remote(
+                int(payload["pid"]),
+                float(payload["busy_s"]),
+                wait,
+                int(payload.get("shm_bytes", 0)),
+            )
+        return batches
+
+    def cancel(self) -> bool:
+        if self._future.cancel():
+            return True
+        # Already running or finished: reap the shm block whenever the
+        # task completes so an early plan close cannot leak it.
+        self._future.add_done_callback(self._reap)
+        return False
+
+    def _reap(self, future: Future) -> None:
+        try:
+            future.result()
+        except Exception:
+            pass
+        unlink_block(self._shm_name)

@@ -1,0 +1,216 @@
+"""Shared-memory morsel transport for the process execution backend.
+
+A worker process ships its partial results (selected batches, distinct
+sets, aggregate partials, sorted runs) back to the coordinator through
+one :class:`multiprocessing.shared_memory.SharedMemory` block per morsel
+task, laid out as a compact header-free concatenation of the batches'
+NumPy buffers:
+
+- every fixed-width array (column values, validity masks, rowids) is
+  written contiguously at a 64-byte aligned offset, in a deterministic
+  walk order (per batch: columns in schema order, each followed by its
+  validity mask if present, then the batch's rowids if present);
+- the *description* of that layout — the schema object plus per-batch
+  dtype strings and element counts — travels in the small pickled result
+  dict the pool returns anyway, so the block itself needs no header.
+
+Pickle remains the fallback for payloads shared memory cannot carry or
+is not worth setting up for: any object-dtype (string) column, empty
+results, and payloads under :data:`SHM_MIN_BYTES` (a block costs two
+syscalls plus an mmap on each side — for a few KB of aggregate partials
+plain pickling through the result queue is cheaper).
+
+Blocks are created by the *worker* under a deterministic name chosen by
+the coordinator (``repro_<coordinator pid>_<task seq>``), so the
+coordinator can always clean up — including after a worker died mid-task
+— without any side channel.  The creating worker detaches the block from
+Python's ``resource_tracker`` right away (3.11 has no ``track=False``
+yet): the tracker would otherwise unlink blocks when the *worker* exits,
+while ownership here lives with the coordinator, which unlinks after
+decoding.  Attaching never registers, so the coordinator side has
+nothing to detach.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.exec.batch import RecordBatch
+from repro.storage.column import ColumnVector
+
+#: Payloads below this many buffer bytes travel pickled instead.
+SHM_MIN_BYTES = 32 * 1024
+
+#: Offset alignment for every array written into a block.
+ALIGNMENT = 64
+
+
+def _untrack(block: shared_memory.SharedMemory) -> None:
+    """Detach *block* from the resource tracker (see module docstring)."""
+    try:
+        resource_tracker.unregister(block._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+def create_block(name: str, size: int) -> shared_memory.SharedMemory:
+    """Create (worker side) the block *name*, replacing a stale one."""
+    try:
+        block = shared_memory.SharedMemory(name=name, create=True, size=size)
+    except FileExistsError:
+        # A crashed earlier run left a block under this name behind.
+        unlink_block(name)
+        block = shared_memory.SharedMemory(name=name, create=True, size=size)
+    _untrack(block)
+    return block
+
+
+def attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach (coordinator side) to the block a worker created.
+
+    Attaching never registers with the resource tracker (only
+    ``create=True`` does), and the worker already unregistered its
+    creation — so no ``_untrack`` here: unregistering a name the
+    tracker does not hold makes the tracker process print a KeyError
+    traceback.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def unlink_block(name: str) -> bool:
+    """Best-effort removal of a block by name; True when it existed."""
+    try:
+        block = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        block.close()
+        block.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a race
+        return False
+    return True
+
+
+def _aligned(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+
+
+def _plan(batches: list[RecordBatch]) -> tuple[dict, list[np.ndarray], int] | None:
+    """Layout plan for *batches*, or None when shm cannot carry them."""
+    if not batches:
+        return None
+    schema = batches[0].schema
+    arrays: list[np.ndarray] = []
+    described: list[dict] = []
+    total = 0
+
+    def push(array: np.ndarray) -> None:
+        nonlocal total
+        arrays.append(array)
+        total = _aligned(total) + array.nbytes
+
+    for batch in batches:
+        columns: list[dict] = []
+        for field in schema:
+            vector = batch.column(field.name)
+            if vector.values.dtype == np.dtype(object):
+                return None  # ragged (string) payloads travel pickled
+            push(np.ascontiguousarray(vector.values))
+            columns.append(
+                {
+                    "dtype": vector.values.dtype.str,
+                    "count": len(vector.values),
+                    "validity": vector.validity is not None,
+                }
+            )
+            if vector.validity is not None:
+                push(np.ascontiguousarray(vector.validity))
+        rowids = None
+        if batch.rowids is not None:
+            push(np.ascontiguousarray(batch.rowids))
+            rowids = {"dtype": batch.rowids.dtype.str, "count": len(batch.rowids)}
+        described.append({"columns": columns, "rowids": rowids})
+    return {"schema": schema, "batches": described}, arrays, total
+
+
+def encode(batches: list[RecordBatch], shm_name: str) -> dict[str, Any]:
+    """Worker side: ship *batches* via shm, or pickled when cheaper.
+
+    Returns the (picklable) payload dict the coordinator's
+    :func:`decode` understands.  On the shm path the block named
+    *shm_name* is created, filled, and left for the coordinator to
+    unlink.
+    """
+    plan = _plan(batches)
+    if plan is None or plan[2] < SHM_MIN_BYTES:
+        return {"transport": "pickle", "data": batches, "shm_bytes": 0}
+    meta, arrays, total = plan
+    block = create_block(shm_name, total)
+    try:
+        offset = 0
+        for array in arrays:
+            offset = _aligned(offset)
+            destination = np.frombuffer(
+                block.buf, dtype=array.dtype, count=array.size, offset=offset
+            )
+            destination[:] = array
+            offset += array.nbytes
+        del destination  # release the buffer view before close()
+    finally:
+        block.close()
+    return {
+        "transport": "shm",
+        "shm": shm_name,
+        "meta": meta,
+        "shm_bytes": total,
+    }
+
+
+def decode(payload: dict[str, Any]) -> list[RecordBatch]:
+    """Coordinator side: rebuild the batches and unlink the shm block."""
+    if payload["transport"] == "pickle":
+        return list(payload["data"])
+    block = attach_block(payload["shm"])
+    try:
+        return _read_batches(payload["meta"], block.buf)
+    finally:
+        block.close()
+        try:
+            block.unlink()
+        except FileNotFoundError:  # pragma: no cover - already collected
+            pass
+
+
+def _read_batches(meta: dict[str, Any], buf: memoryview) -> list[RecordBatch]:
+    schema = meta["schema"]
+    offset = 0
+    batches: list[RecordBatch] = []
+
+    def read(dtype: str, count: int) -> tuple[np.ndarray, int]:
+        nonlocal offset
+        offset = _aligned(offset)
+        # Copy out: the block is unlinked as soon as decoding finishes.
+        array = np.frombuffer(
+            buf, dtype=np.dtype(dtype), count=count, offset=offset
+        ).copy()
+        offset += array.nbytes
+        return array, offset
+
+    for entry in meta["batches"]:
+        columns: dict[str, ColumnVector] = {}
+        for described, field in zip(entry["columns"], schema):
+            values, offset = read(described["dtype"], described["count"])
+            validity = None
+            if described["validity"]:
+                validity, offset = read("|b1", described["count"])
+            columns[field.name] = ColumnVector(field.dtype, values, validity)
+        rowids = None
+        if entry["rowids"] is not None:
+            rowids, offset = read(
+                entry["rowids"]["dtype"], entry["rowids"]["count"]
+            )
+        batches.append(RecordBatch(schema, columns, rowids=rowids))
+    return batches

@@ -23,11 +23,9 @@ to the corresponding serial operator's.
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
-
-from concurrent.futures import Future
 
 from repro.errors import PlanError
 from repro.exec.batch import RecordBatch
@@ -43,6 +41,7 @@ from repro.exec.operators.sort import Sort, SortKey
 from repro.exec.parallel.exchange import BatchSource, FragmentFactory, run_fragment
 from repro.exec.parallel.morsels import Morsel
 from repro.exec.parallel.pool import get_pool
+from repro.exec.parallel.worker import PartialSpec
 from repro.storage.column import ColumnVector
 from repro.storage.schema import Schema
 from repro.types import DataType
@@ -71,13 +70,29 @@ class _ParallelBlocking(Operator):
         self.parallelism = parallelism
         #: Pool observation hook (duck-typed, see ``Exchange.obs``).
         self.obs = None
-        self._futures: deque[Future] | None = None
+        #: Execution backend (see ``Exchange.backend``): ``None`` for
+        #: the thread pool, a ``ProcessTransport`` for processes.  The
+        #: transport carries this operator's :meth:`partial_spec`, so
+        #: workers apply the same per-morsel partial as ``_wrap``.
+        self.backend: Any = None
+        self._futures: deque[Any] | None = None
         self._done = False
 
     def children(self) -> list[Operator]:
         return [self.template]
 
     def open(self) -> None:
+        if self.backend is not None:
+            # The worker applies this operator's partial wrap from the
+            # transport's PartialSpec; the wrapped local factory is
+            # passed along for the serial-retry fallback only.
+            self._futures = deque(
+                self.backend.submit_all(
+                    self.morsels, self._wrapped_factory, self.obs
+                )
+            )
+            self._done = False
+            return
         pool = get_pool(self.parallelism)
         factory = self._wrapped_factory
         if self.obs is None:
@@ -113,7 +128,8 @@ class _ParallelBlocking(Operator):
             self._futures = None
 
     def _detail(self) -> str:
-        return f"dop={self.parallelism}, morsels={len(self.morsels)}"
+        suffix = ", backend=process" if self.backend is not None else ""
+        return f"dop={self.parallelism}, morsels={len(self.morsels)}{suffix}"
 
     # -- subclass hooks ------------------------------------------------
 
@@ -121,6 +137,10 @@ class _ParallelBlocking(Operator):
         raise NotImplementedError
 
     def _combine(self, partials: list[RecordBatch]) -> RecordBatch | None:
+        raise NotImplementedError
+
+    def partial_spec(self) -> PartialSpec:
+        """Picklable description of :meth:`_wrap` for worker processes."""
         raise NotImplementedError
 
 
@@ -157,6 +177,9 @@ class ParallelDistinct(_ParallelBlocking):
         finally:
             final.close()
 
+    def partial_spec(self) -> PartialSpec:
+        return PartialSpec(kind="distinct")
+
     def label(self) -> str:
         return f"ParallelDistinct({self._detail()})"
 
@@ -187,6 +210,9 @@ class ParallelSort(_ParallelBlocking):
         if not partials:
             return None
         return merge_sorted_runs(partials, self.keys, self._schema)
+
+    def partial_spec(self) -> PartialSpec:
+        return PartialSpec(kind="sort", sort_keys=tuple(self.keys))
 
     def label(self) -> str:
         keys = ", ".join(str(key) for key in self.keys)
@@ -324,6 +350,19 @@ class ParallelAggregate(_ParallelBlocking):
             else:
                 columns[spec.alias] = merged.column(spec.alias)
         return RecordBatch(self._schema, columns)
+
+    def partial_spec(self) -> PartialSpec:
+        if self._distinct_mode:
+            spec = self.aggregates[0]
+            columns = list(self.group_by)
+            if spec.column not in columns:
+                columns.append(spec.column)
+            return PartialSpec(kind="distinct", columns=tuple(columns))
+        return PartialSpec(
+            kind="agg",
+            group_by=tuple(self.group_by),
+            aggregates=tuple(self._partial_specs),
+        )
 
     def label(self) -> str:
         keys = ", ".join(self.group_by) if self.group_by else "<global>"

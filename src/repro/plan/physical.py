@@ -24,7 +24,9 @@ Mostly a 1:1 mapping, plus three physical decisions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
 
 from repro.check.plan_verifier import verify_plan
 from repro.core.cost_model import CostModel
@@ -59,9 +61,25 @@ from repro.exec.parallel import (
     default_parallelism,
     morsels_for_table,
 )
+from repro.exec.parallel.procpool import (
+    BACKENDS,
+    ProcessTransport,
+    default_backend,
+)
+from repro.exec.parallel.worker import (
+    EngineSnapshot,
+    FragmentSpec,
+    OpSpec,
+    PatchSpec,
+)
 from repro.plan import logical as lp
 from repro.plan.cardinality import estimate_rows
+from repro.storage.engine import DurableEngine
 from repro.types.datatypes import coerce_scalar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.database import Database
+    from repro.storage.table import Table
 
 
 @dataclass
@@ -78,6 +96,9 @@ class _Fragment:
     ranges: list[tuple[int, int]] | None
     covered_rows: int
     morsels: list[Morsel] = dataclass_field(default_factory=list)
+    #: Process-backend transport when the fragment is routed to worker
+    #: processes; ``None`` keeps the thread path.
+    transport: ProcessTransport | None = None
 
     def template(self) -> Operator:
         return self.build(self.ranges)
@@ -95,6 +116,8 @@ class PhysicalPlanner:
         morsel_size: int = DEFAULT_MORSEL_SIZE,
         cost_model: CostModel | None = None,
         verify: bool = True,
+        backend: str | None = None,
+        database: "Database | None" = None,
     ):
         self.batch_size = batch_size
         self.derive_scan_ranges = derive_scan_ranges
@@ -105,6 +128,18 @@ class PhysicalPlanner:
         self.morsel_size = morsel_size
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.verify = verify
+        resolved = default_backend() if backend is None else backend
+        if resolved not in BACKENDS:
+            raise PlanError(
+                f"backend must be one of {', '.join(BACKENDS)}, got {backend!r}"
+            )
+        #: Requested execution backend ("thread" | "process" | "auto");
+        #: resolved per fragment in :meth:`_resolve_backend`.
+        self.backend = resolved
+        #: The owning database — required for the process backend (the
+        #: engine snapshot workers attach comes from it).  ``None``
+        #: restricts planning to the thread path.
+        self.database = database
         self._depth = 0
 
     def plan(self, logical: lp.LogicalPlan) -> Operator:
@@ -201,22 +236,28 @@ class PhysicalPlanner:
         if isinstance(logical, lp.LogicalDistinct):
             fragment = self._match_fragment(logical.child)
             if fragment is not None:
-                return ParallelDistinct(
-                    fragment.build,
-                    fragment.template(),
-                    fragment.morsels,
-                    self.parallelism,
+                return self._attach_backend(
+                    ParallelDistinct(
+                        fragment.build,
+                        fragment.template(),
+                        fragment.morsels,
+                        self.parallelism,
+                    ),
+                    fragment,
                 )
             return None
         if isinstance(logical, lp.LogicalSort):
             fragment = self._match_fragment(logical.child)
             if fragment is not None:
-                return ParallelSort(
-                    fragment.build,
-                    fragment.template(),
-                    fragment.morsels,
-                    self.parallelism,
-                    list(logical.keys),
+                return self._attach_backend(
+                    ParallelSort(
+                        fragment.build,
+                        fragment.template(),
+                        fragment.morsels,
+                        self.parallelism,
+                        list(logical.keys),
+                    ),
+                    fragment,
                 )
             return None
         if isinstance(logical, lp.LogicalAggregate):
@@ -228,34 +269,50 @@ class PhysicalPlanner:
                 1 for spec in specs if spec.func == "count_distinct"
             )
             if distinct_count == 0 or (distinct_count == 1 and len(specs) == 1):
-                return ParallelAggregate(
-                    fragment.build,
-                    fragment.template(),
-                    fragment.morsels,
-                    self.parallelism,
-                    list(logical.group_by),
-                    specs,
+                return self._attach_backend(
+                    ParallelAggregate(
+                        fragment.build,
+                        fragment.template(),
+                        fragment.morsels,
+                        self.parallelism,
+                        list(logical.group_by),
+                        specs,
+                    ),
+                    fragment,
                 )
             # Mixed count_distinct shapes: parallelize the scan only.
             return HashAggregate(
-                Exchange(
-                    fragment.build,
-                    fragment.template(),
-                    fragment.morsels,
-                    self.parallelism,
+                self._attach_backend(
+                    Exchange(
+                        fragment.build,
+                        fragment.template(),
+                        fragment.morsels,
+                        self.parallelism,
+                    ),
+                    fragment,
                 ),
                 list(logical.group_by),
                 specs,
             )
         fragment = self._match_fragment(logical)
         if fragment is not None:
-            return Exchange(
-                fragment.build,
-                fragment.template(),
-                fragment.morsels,
-                self.parallelism,
+            return self._attach_backend(
+                Exchange(
+                    fragment.build,
+                    fragment.template(),
+                    fragment.morsels,
+                    self.parallelism,
+                ),
+                fragment,
             )
         return None
+
+    def _attach_backend(self, operator: Any, fragment: _Fragment) -> Operator:
+        """Route one parallel operator to the fragment's backend."""
+        if fragment.transport is not None:
+            fragment.transport.partial = operator.partial_spec()
+            operator.backend = fragment.transport
+        return operator
 
     def _match_fragment(self, logical: lp.LogicalPlan) -> _Fragment | None:
         """Match a Filter/Project chain over (PatchSelect over) a scan,
@@ -322,11 +379,105 @@ class PhysicalPlanner:
             return operator
 
         morsels = morsels_for_table(scan.table, normalized, self.morsel_size)
-        if not self.cost_model.should_parallelize(
-            covered, self.parallelism, len(morsels)
-        ):
+        backend = self._resolve_backend(scan.table, covered, len(morsels))
+        if backend is None:
             return None
-        return _Fragment(build, normalized, covered, morsels)
+        transport = (
+            self._process_transport(scan, patch, nodes)
+            if backend == "process"
+            else None
+        )
+        return _Fragment(build, normalized, covered, morsels, transport)
+
+    def _resolve_backend(
+        self, table: "Table", covered: int, morsel_count: int
+    ) -> str | None:
+        """Pick the execution backend for one fragment, or None = serial.
+
+        ``process`` needs a durable, catalog-live table another process
+        can attach by name; a MemoryEngine table (or a bare Table never
+        installed in the database) silently falls back to threads.  Each
+        backend is gated by its own cost curve — the process backend's
+        heavier fan-out keeps mid-size scans on threads under ``auto``.
+        """
+
+        def gate(backend: str) -> bool:
+            return self.cost_model.should_parallelize(
+                covered, self.parallelism, morsel_count, backend
+            )
+
+        attachable = self._process_attachable(table)
+        if self.backend == "process" and attachable:
+            return "process" if gate("process") else None
+        if self.backend == "auto" and attachable and gate("process"):
+            return "process"
+        return "thread" if gate("thread") else None
+
+    def _process_attachable(self, table: "Table") -> bool:
+        database = self.database
+        if database is None or not isinstance(database.engine, DurableEngine):
+            return False
+        return (
+            database.catalog.has_table(table.name)
+            and database.catalog.table(table.name) is table
+        )
+
+    def _process_transport(
+        self,
+        scan: lp.LogicalScan,
+        patch: lp.LogicalPatchSelect | None,
+        nodes: list[lp.LogicalPlan],
+    ) -> ProcessTransport:
+        """Describe the fragment as picklable specs plus the snapshot."""
+        database = self.database
+        if database is None:  # unreachable after _resolve_backend
+            raise PlanError("process backend requires a database")
+        ops: list[OpSpec] = []
+        for node in reversed(nodes):
+            if isinstance(node, lp.LogicalFilter):
+                ops.append(OpSpec("filter", predicate=node.predicate))
+            elif isinstance(node, lp.LogicalProject):
+                ops.append(OpSpec("project", outputs=tuple(node.outputs)))
+        patch_spec: PatchSpec | None = None
+        if patch is not None:
+            index = patch.index
+            patch_spec = PatchSpec(
+                name=index.name,
+                kind=index.kind,
+                column=index.column_name,
+                design=index.design,
+                threshold=index.threshold,
+                ascending=index.ascending,
+                strict=index.strict,
+                scope=index.scope,
+                use_patches=patch.use_patches,
+                partition_rowids=tuple(
+                    index.partition_patches(k)
+                    .rowids()
+                    .astype(np.int64, copy=False)
+                    .tobytes()
+                    for k in range(scan.table.partition_count)
+                ),
+            )
+        fragment_spec = FragmentSpec(
+            table=scan.table.name,
+            columns=(
+                tuple(scan.columns) if scan.columns is not None else None
+            ),
+            with_tid=scan.with_tid,
+            batch_size=self.batch_size,
+            patch=patch_spec,
+            ops=tuple(ops),
+        )
+        engine = database.engine
+        if not isinstance(engine, DurableEngine):  # unreachable, see above
+            raise PlanError("process backend requires a durable engine")
+        snapshot = EngineSnapshot(
+            str(engine.root), bool(engine.mmap), database.wal.last_lsn
+        )
+        return ProcessTransport(
+            snapshot, fragment_spec, self.parallelism, metrics=database.obs
+        )
 
     # -- scans & filters ---------------------------------------------------
 

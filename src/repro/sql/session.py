@@ -48,6 +48,7 @@ def _execute_statement(
     *,
     optimizer_options: OptimizerOptions | None = None,
     parallelism: int | None = None,
+    backend: str | None = None,
     profile: bool = False,
 ) -> QueryResult:
     """Execute one SQL statement and return its result.
@@ -56,8 +57,11 @@ def _execute_statement(
     (e.g. rows inserted); queries return their result set.
     *parallelism* caps the degree of parallelism of the physical plan
     (``None`` resolves ``REPRO_THREADS`` / the CPU count, ``1`` forces
-    serial execution).  *profile* instruments the execution and attaches
-    a :class:`~repro.obs.profile.QueryProfile` to the result.
+    serial execution).  *backend* picks the parallel execution backend
+    (``thread`` | ``process`` | ``auto``; ``None`` resolves
+    ``REPRO_PARALLEL_BACKEND``).  *profile* instruments the execution
+    and attaches a :class:`~repro.obs.profile.QueryProfile` to the
+    result.
     """
     statement = parse_statement(text)
     if isinstance(statement, ast.SqlSelect):
@@ -67,6 +71,7 @@ def _execute_statement(
             statement,
             optimizer_options=optimizer_options,
             parallelism=parallelism,
+            backend=backend,
             profile=profile,
             query_text=text,
         )
@@ -82,6 +87,7 @@ def _execute_statement(
                 statement.query,
                 optimizer_options=optimizer_options,
                 parallelism=parallelism,
+                backend=backend,
                 profile=True,
                 query_text=text,
             )
@@ -92,7 +98,7 @@ def _execute_statement(
             result.profile = profile
             return result
         rendered = explain_select(
-            database, statement.query, optimizer_options, parallelism
+            database, statement.query, optimizer_options, parallelism, backend
         )
         return QueryResult.from_lines("plan", rendered.splitlines())
     if isinstance(statement, ast.SqlCreateTable):
@@ -149,6 +155,7 @@ def explain_sql(
     text: str,
     optimizer_options: OptimizerOptions | None = None,
     parallelism: int | None = None,
+    backend: str | None = None,
     *,
     analyze: bool = False,
 ) -> str:
@@ -170,11 +177,14 @@ def explain_sql(
             statement,
             optimizer_options=optimizer_options,
             parallelism=parallelism,
+            backend=backend,
             profile=True,
             query_text=text,
         )
         return _require_profile(result).to_text()
-    return explain_select(database, statement, optimizer_options, parallelism)
+    return explain_select(
+        database, statement, optimizer_options, parallelism, backend
+    )
 
 
 def _run_select(
@@ -183,12 +193,15 @@ def _run_select(
     *,
     optimizer_options: OptimizerOptions | None = None,
     parallelism: int | None = None,
+    backend: str | None = None,
     profile: bool = False,
     query_text: str | None = None,
 ) -> QueryResult:
     logical = Binder(database.catalog).bind_select(select)
     optimized = Optimizer(database.catalog, optimizer_options).optimize(logical)
-    operator = PhysicalPlanner(parallelism=parallelism).plan(optimized)
+    operator = PhysicalPlanner(
+        parallelism=parallelism, backend=backend, database=database
+    ).plan(optimized)
     if not profile:
         return collect(operator)
     result, query_profile = profile_collect(operator, query_text)
@@ -202,13 +215,16 @@ def explain_select(
     select: ast.SqlSelect,
     optimizer_options: OptimizerOptions | None = None,
     parallelism: int | None = None,
+    backend: str | None = None,
 ) -> str:
     logical = Binder(database.catalog).bind_select(select)
     optimized = Optimizer(database.catalog, optimizer_options).optimize(logical)
     # The planner verifies every plan it produces (raising
     # PlanInvariantError on a violation), so reaching this point means
     # the plan passed — surface that as the "verified: ok" footer.
-    operator = PhysicalPlanner(parallelism=parallelism).plan(optimized)
+    operator = PhysicalPlanner(
+        parallelism=parallelism, backend=backend, database=database
+    ).plan(optimized)
     return explain_both(optimized, operator, verified=True)
 
 
@@ -265,6 +281,10 @@ def _record_profile(database: "Database", profile: QueryProfile) -> None:
             obs.gauge("parallel.last_dop_used").set(
                 int(node.details.get("dop_used", 0))
             )
+            if "shm_bytes" in node.details:
+                obs.counter("parallel.shm_bytes").inc(
+                    int(node.details["shm_bytes"])
+                )
     feedback = getattr(database, "feedback", None)
     if feedback is not None:
         feedback.record_profile(profile)

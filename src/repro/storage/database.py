@@ -300,6 +300,7 @@ class Database:
         text: str,
         *,
         parallelism: int | None = None,
+        backend: str | None = None,
         profile: bool = False,
         optimizer_options=None,
     ) -> "QueryResult":
@@ -308,10 +309,12 @@ class Database:
         DDL and DML statements return a 1×1 status result; queries
         return a :class:`~repro.exec.result.QueryResult` with named
         columns.  All knobs are keyword-only: *parallelism* overrides
-        the instance default for this statement, *profile* instruments
-        the execution and attaches a ``QueryProfile`` to the result
-        (``result.profile``), and *optimizer_options* passes a
-        :class:`~repro.plan.optimizer.OptimizerOptions` through to the
+        the instance default for this statement, *backend* picks the
+        parallel execution backend (``thread`` | ``process`` | ``auto``;
+        ``None`` resolves ``REPRO_PARALLEL_BACKEND``), *profile*
+        instruments the execution and attaches a ``QueryProfile`` to
+        the result (``result.profile``), and *optimizer_options* passes
+        a :class:`~repro.plan.optimizer.OptimizerOptions` through to the
         optimizer (e.g. to disable PatchIndex rewrites).
         """
         # Imported lazily to avoid a package import cycle
@@ -324,6 +327,7 @@ class Database:
             text,
             optimizer_options=optimizer_options,
             parallelism=effective,
+            backend=backend,
             profile=profile,
         )
 
@@ -332,6 +336,7 @@ class Database:
         text: str,
         *,
         parallelism: int | None = None,
+        backend: str | None = None,
         analyze: bool = False,
         optimizer_options=None,
     ) -> str:
@@ -349,6 +354,7 @@ class Database:
             text,
             optimizer_options=optimizer_options,
             parallelism=effective,
+            backend=backend,
             analyze=analyze,
         )
 

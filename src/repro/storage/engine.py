@@ -400,6 +400,70 @@ class DurableEngine(StorageEngine):
         database.obs.gauge("recovery.replayed_records").set(replayed)
         database.obs.gauge("recovery.indexes_rebuilt").set(rebuilt)
 
+    def attach_tables(
+        self, expected_lsn: int | None = None
+    ) -> dict[str, Table]:
+        """Read-only attach for a worker process: tables, no Database.
+
+        Reproduces the coordinator's table state from the data directory
+        alone — manifest load (memory-mapping segment columns when the
+        engine was opened with ``mmap=True``), post-checkpoint drops,
+        then a deterministic replay of the live WAL data tail.  The WAL
+        is opened without torn-tail tolerance: tolerating a torn tail
+        truncates the file, and an attach must never write to the
+        coordinator's live log.
+
+        *expected_lsn* is the coordinator WAL's last LSN at planning
+        time; a mismatch means the database changed (or the worker sees
+        a different directory) and the attach refuses rather than serve
+        divergent data — the coordinator falls back to serial execution.
+        """
+        manifest = read_manifest(self.root)
+        checkpoint_lsn = manifest.checkpoint_lsn if manifest else None
+        wal = WriteAheadLog(
+            self.root / WAL_NAME, sync=False, tolerate_torn_tail=False
+        )
+        if expected_lsn is not None and wal.last_lsn != expected_lsn:
+            raise StorageError(
+                f"worker attach at {self.root} saw WAL LSN {wal.last_lsn}, "
+                f"coordinator planned against {expected_lsn}"
+            )
+        tables: dict[str, Table] = {}
+        if manifest is not None:
+            for table_manifest in manifest.tables.values():
+                tables[table_manifest.name] = self._load_table(table_manifest)
+        for record in wal.records():
+            if (
+                record.kind == "drop_table"
+                and (checkpoint_lsn is None or record.lsn > checkpoint_lsn)
+            ):
+                tables.pop(record.payload["name"], None)
+
+        from repro.storage.database import payload_to_schema
+
+        for record in wal.live_records():
+            if record.kind == "create_table":
+                name = record.payload["name"]
+                if name in tables:
+                    continue  # already loaded from the manifest
+                tables[name] = Table(
+                    name,
+                    payload_to_schema(record.payload["schema"]),
+                    int(record.payload.get("partition_count", 1)),
+                    int(record.payload.get("block_size", DEFAULT_BLOCK_SIZE)),
+                )
+            elif record.kind in DATA_KINDS:
+                if checkpoint_lsn is not None and record.lsn <= checkpoint_lsn:
+                    continue  # already flushed into segments
+                table = tables.get(record.payload["table"])
+                if table is None:
+                    raise WalError(
+                        f"data record for unknown table "
+                        f"{record.payload['table']!r} during attach"
+                    )
+                self._apply_record_to_table(table, record)
+        return tables
+
     def _load_table(self, table_manifest: TableManifest) -> Table:
         """Materialize one table from its checkpointed segment files."""
         from repro.storage.database import payload_to_schema
@@ -442,8 +506,12 @@ class DurableEngine(StorageEngine):
         self, database: "Database", record: WalRecord
     ) -> None:
         """Re-apply one data record to the recovered catalog."""
+        table = database.catalog.table(record.payload["table"])
+        self._apply_record_to_table(table, record)
+
+    def _apply_record_to_table(self, table: Table, record: WalRecord) -> None:
+        """Re-apply one data record to an already-resolved table."""
         payload = record.payload
-        table = database.catalog.table(payload["table"])
         if record.kind == "append":
             names = table.schema.names
             columns = {

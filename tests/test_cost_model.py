@@ -65,6 +65,53 @@ class TestBreakeven:
         assert rate > 0.0
 
 
+class TestParallelGate:
+    """Pin the fan-out decisions the benchmarks depend on.
+
+    The 10M-row ``COUNT(DISTINCT)`` bench table (8 partitions, 2^18
+    morsel size -> 40 morsels) must plan parallel on both backends even
+    at dop=2; the 1M-row CI bench variant must still clear the process
+    gate; and small inputs must stay serial.
+    """
+
+    def test_bench_table_plans_parallel_thread(self):
+        model = CostModel()
+        assert model.should_parallelize(10_000_000, 2, 40, "thread")
+        assert model.should_parallelize(10_000_000, 4, 40, "thread")
+
+    def test_bench_table_plans_parallel_process(self):
+        model = CostModel()
+        assert model.should_parallelize(10_000_000, 2, 40, "process")
+        assert model.should_parallelize(10_000_000, 4, 40, "process")
+
+    def test_ci_bench_table_clears_process_gate(self):
+        # REPRO_BENCH_PARALLEL_ROWS=1_000_000: 8 partitions, 8 morsels.
+        model = CostModel()
+        assert model.should_parallelize(1_000_000, 2, 8, "process")
+
+    def test_small_input_stays_serial(self):
+        model = CostModel()
+        assert not model.should_parallelize(200_000, 2, 8, "process")
+        assert not model.should_parallelize(10_000, 4, 8, "thread")
+
+    def test_process_breakeven_is_higher_than_thread(self):
+        model = CostModel()
+        n = 300_000
+        assert model.should_parallelize(n, 2, 8, "thread")
+        assert not model.should_parallelize(n, 2, 8, "process")
+
+    def test_degenerate_shapes_stay_serial(self):
+        model = CostModel()
+        assert not model.should_parallelize(10_000_000, 1, 40, "process")
+        assert not model.should_parallelize(10_000_000, 4, 1, "process")
+
+    def test_backend_defaults_to_thread_weights(self):
+        model = CostModel()
+        explicit = model.parallel_scan(1_000_000, 4, 16, "thread")
+        default = model.parallel_scan(1_000_000, 4, 16)
+        assert default.patched_cost == explicit.patched_cost
+
+
 class TestCostEstimate:
     def test_speedup(self):
         estimate = CostEstimate("distinct", 10.0, 2.0)
