@@ -1,0 +1,176 @@
+"""Patch-aware segment compression: bytes on disk vs scan latency.
+
+The headline acceptance of the RSEG2 format (paper §VIII outlook: the
+PatchIndex as a compression aid): a nearly-sorted 1M-row int column
+carrying an NSC PatchIndex at exception rate 0.001 must checkpoint to
+segments **≥ 4× smaller** than the raw layout — the patch rowids let
+the ``pfor`` codec store only the exceptions verbatim while the kept
+values delta-pack at the clean-column rate — *without* giving the win
+back at scan time: with the block cache warm, the encoded scan must be
+at least as fast as the raw one.
+
+Three variants are swept, cold (fresh connect, empty cache) and warm
+(second run over the same connection):
+
+- ``raw``          — ``encoding="raw"`` checkpoint, no cache;
+- ``encoded``      — cost-based picker, cache disabled (pure decode);
+- ``encoded+cache``— picker plus the shared LRU block cache.
+
+The table carries a second, non-indexed payload column: recovery's
+PatchIndex rebuild reads (and thereby materializes) the indexed column,
+so it is the payload column whose scans exercise the decode-on-demand
+path and the block cache.  Results (bytes, latencies, cache counters,
+per-column encodings) land in ``BENCH_compression.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_compression_scan.py
+
+Knobs: ``REPRO_BENCH_COMPRESSION_ROWS`` (default 1_000_000),
+``REPRO_CACHE_BYTES`` (cache capacity for the cached variant).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import measure
+from repro.gen import sorted_with_exceptions
+from repro.storage.column import ColumnVector
+from repro.storage.database import Database
+from repro.storage.schema import Field, Schema
+from repro.types import DataType
+
+ROWS = int(os.environ.get("REPRO_BENCH_COMPRESSION_ROWS", 1_000_000))
+EXCEPTION_RATE = 0.001
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_compression.json"
+
+QUERIES = (
+    "SELECT SUM(v) AS total, COUNT(*) AS n FROM t",
+    f"SELECT SUM(v) AS total FROM t "
+    f"WHERE s BETWEEN {ROWS // 3} AND {ROWS // 3 + 5000}",
+)
+
+VARIANTS = (
+    ("raw", "raw", 0),
+    ("encoded", "auto", 0),
+    ("encoded+cache", "auto", None),  # None → default / env capacity
+)
+
+
+def build(root: Path, encoding: str, cache_bytes: int | None) -> dict:
+    """Create, index, checkpoint; return the checkpoint column detail."""
+    database = Database(
+        path=root,
+        parallelism=1,
+        sync=False,
+        encoding=encoding,
+        cache_bytes=cache_bytes,
+    )
+    table = database.create_table(
+        "t",
+        Schema([Field("s", DataType.INT64), Field("v", DataType.INT64)]),
+        partition_count=4,
+    )
+    payload = np.random.default_rng(7).integers(
+        0, 1000, size=ROWS, dtype=np.int64
+    )
+    table.load_columns(
+        {
+            "s": sorted_with_exceptions(ROWS, EXCEPTION_RATE, seed=20),
+            "v": ColumnVector.from_numpy(DataType.INT64, payload),
+        }
+    )
+    database.create_patch_index("pi_s", "t", "s", kind="sorted")
+    info = database.checkpoint()
+    truth = [database.sql(query).rows() for query in QUERIES]
+    database.close()
+    detail = info["table_details"]["t"]
+    return {"detail": detail, "truth": truth}
+
+
+def scan_latencies(
+    root: Path, cache_bytes: int | None, truth: list
+) -> tuple[float, float, dict | None, int]:
+    """Cold and warm latency of the query set on a fresh connection."""
+    database = Database(path=root, parallelism=1, cache_bytes=cache_bytes)
+
+    def run_all():
+        return [database.sql(query).rows() for query in QUERIES]
+
+    cold = measure(run_all, repeats=1, warmup=0)
+    warm = measure(run_all, repeats=5, warmup=1)
+    mismatches = sum(
+        1
+        for run in (cold.result, warm.result)
+        for got, want in zip(run, truth)
+        if got != want
+    )
+    stats = database.cache_stats()
+    database.close()
+    return cold.seconds, warm.seconds, stats, mismatches
+
+
+def main() -> int:
+    results = {}
+    failures = 0
+    for name, encoding, cache_bytes in VARIANTS:
+        root = Path(tempfile.mkdtemp(prefix="repro-bench-compression-"))
+        try:
+            built = build(root, encoding, cache_bytes)
+            cold_s, warm_s, cache, mismatches = scan_latencies(
+                root, cache_bytes, built["truth"]
+            )
+            failures += mismatches
+            detail = built["detail"]
+            results[name] = {
+                "segment_bytes": detail["columns"]["s"]["segment_bytes"],
+                "encodings": detail["columns"]["s"]["encodings"],
+                "columns": detail["columns"],
+                "encoded_ratio": detail["encoded_ratio"],
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "cache": cache,
+                "identical_results": mismatches == 0,
+            }
+            print(
+                f"{name:>14}  {results[name]['segment_bytes'] / 1e6:7.2f} MB  "
+                f"cold {cold_s * 1e3:8.1f} ms  warm {warm_s * 1e3:8.1f} ms  "
+                f"{'ok' if mismatches == 0 else 'MISMATCH'}"
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    raw_bytes = results["raw"]["segment_bytes"]
+    encoded_bytes = results["encoded"]["segment_bytes"]
+    compression_x = raw_bytes / encoded_bytes if encoded_bytes else 0.0
+    warm_ok = results["encoded+cache"]["warm_s"] <= results["raw"]["warm_s"]
+    headline_ok = compression_x >= 4.0 and warm_ok and failures == 0
+    print(
+        f"compression {compression_x:.1f}x "
+        f"(target >= 4.0), warm encoded+cache "
+        f"{'<=' if warm_ok else '>'} raw -> "
+        f"{'PASS' if headline_ok else 'FAIL'}"
+    )
+
+    payload = {
+        "rows": ROWS,
+        "exception_rate": EXCEPTION_RATE,
+        "queries": list(QUERIES),
+        "variants": results,
+        "compression_x": compression_x,
+        "warm_encoded_not_slower": warm_ok,
+        "headline_ok": headline_ok,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0 if headline_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,7 +47,7 @@ OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_recovery.json"
 QUERY = "SELECT COUNT(DISTINCT c) AS n FROM t"
 
 
-def build(root: Path, rows: int) -> tuple[float, float, list]:
+def build(root: Path, rows: int) -> tuple[float, dict, list]:
     """Create, checkpoint, append a tail; return timings + truth."""
     database = Database(path=root, parallelism=1)
     table = database.create_table(
@@ -64,7 +64,7 @@ def build(root: Path, rows: int) -> tuple[float, float, list]:
     table.insert_rows([[rows + i] for i in range(tail)])
     truth = database.sql(QUERY).rows()
     database.close()
-    return checkpoint_s, info["segment_bytes"], truth
+    return checkpoint_s, info, truth
 
 
 def reopen(root: Path) -> tuple[float, "Database"]:
@@ -79,7 +79,9 @@ def main() -> int:
     for rows in ROW_COUNTS:
         root = Path(tempfile.mkdtemp(prefix="repro-bench-recovery-"))
         try:
-            checkpoint_s, segment_bytes, truth = build(root, rows)
+            checkpoint_s, info, truth = build(root, rows)
+            segment_bytes = info["segment_bytes"]
+            detail = info["table_details"]["t"]
             recover_s, database = reopen(root)
             recovered = database.sql(QUERY).rows()
             index = database.catalog.index("pi")
@@ -93,14 +95,20 @@ def main() -> int:
                     "rows": rows,
                     "checkpoint_s": checkpoint_s,
                     "segment_bytes": segment_bytes,
+                    "encoded_ratio": detail["encoded_ratio"],
+                    "columns": detail["columns"],
                     "recover_s": recover_s,
                     "wal_records_replayed": replayed,
                     "identical_results": ok,
                 }
             )
+            encodings = "+".join(
+                sorted(detail["columns"]["c"]["encodings"])
+            )
             print(
                 f"rows={rows:>9}  checkpoint {checkpoint_s * 1e3:8.1f} ms  "
-                f"({segment_bytes / 1e6:7.2f} MB)  "
+                f"({segment_bytes / 1e6:7.2f} MB, "
+                f"ratio {detail['encoded_ratio']:.3f}, {encodings})  "
                 f"recover {recover_s * 1e3:8.1f} ms  "
                 f"replayed={replayed}  {'ok' if ok else 'MISMATCH'}"
             )

@@ -69,6 +69,8 @@ def connect(
     parallelism: int | None = None,
     mmap: bool = False,
     sync: bool = True,
+    cache_bytes: int | None = None,
+    encoding: str = "auto",
 ) -> Database:
     """Open a database instance — the canonical entry point.
 
@@ -76,7 +78,11 @@ def connect(
     is WAL-logged, ``CHECKPOINT`` flushes columnar segment files, and
     ``repro.connect(path=...)`` on the same directory recovers tables
     and rebuilds PatchIndexes from data (paper §V).  ``mmap=True``
-    memory-maps checkpointed columns instead of loading them eagerly.
+    memory-maps checkpointed segment payloads instead of loading them
+    eagerly.  *cache_bytes* bounds the shared decoded-block cache
+    (default ``REPRO_CACHE_BYTES``, else 64 MiB; ``0`` disables it) and
+    *encoding* selects the checkpoint segment encoding (``"auto"`` =
+    cost-based per-block picker, ``"raw"`` = uncompressed).
 
     *wal_path* is the historical metadata-only WAL mode
     (``Database.recover`` replays it with user-supplied data loaders);
@@ -85,7 +91,13 @@ def connect(
     serial execution).
     """
     return Database(
-        wal_path, path=path, parallelism=parallelism, mmap=mmap, sync=sync
+        wal_path,
+        path=path,
+        parallelism=parallelism,
+        mmap=mmap,
+        sync=sync,
+        cache_bytes=cache_bytes,
+        encoding=encoding,
     )
 
 

@@ -14,6 +14,7 @@ to poke at PatchIndexes interactively:
     repro> \threads 4    -- set the degree of parallelism (\threads shows it)
     repro> \profile on   -- print a query profile after every statement
     repro> \metrics      -- dump the instance's metrics registry
+    repro> \cache        -- show block cache occupancy and hit ratio
     repro> \checkpoint   -- flush durable state (same as CHECKPOINT;)
     repro> EXPLAIN ANALYZE SELECT DISTINCT c FROM t;
     repro> \q
@@ -40,7 +41,8 @@ _BANNER = (
     "repro — PatchIndex reproduction shell. "
     "End statements with ';'.  \\d describes, \\threads sets "
     "parallelism, \\profile toggles profiling, \\metrics dumps "
-    "metrics, \\checkpoint flushes durable state, \\q quits."
+    "metrics, \\cache shows the block cache, \\checkpoint flushes "
+    "durable state, \\q quits."
 )
 
 
@@ -107,6 +109,24 @@ def run_shell(
             continue
         if not buffer and stripped == "\\metrics":
             emit(database.metrics().to_text() or "(no metrics)")
+            continue
+        if not buffer and stripped == "\\cache":
+            stats = database.cache_stats()
+            if stats is None:
+                emit("(no cache: in-memory database or cache_bytes=0)")
+            else:
+                emit(
+                    f"block cache: {stats['bytes']}/{stats['capacity_bytes']} "
+                    f"bytes in {stats['entries']} entries"
+                )
+                emit(
+                    f"  hits={stats['hits']} misses={stats['misses']} "
+                    f"hit_ratio={stats['hit_ratio']:.3f}"
+                )
+                emit(
+                    f"  evictions={stats['evictions']} "
+                    f"oversized_skips={stats['skip_count']}"
+                )
             continue
         if not buffer and stripped == "\\checkpoint":
             try:

@@ -24,12 +24,14 @@ bit width.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.discovery import discover_nsc_patches
 from repro.errors import StorageError
+from repro.storage.blocks import BlockStats
 from repro.storage.column import ColumnVector
 from repro.types import DataType
 
@@ -234,3 +236,254 @@ def compression_report(
         out["for_bytes"] = float(plain.size_bytes())
         out["for_ratio"] = raw / max(1, plain.size_bytes())
     return out
+
+
+# ---------------------------------------------------------------------------
+# Block-level codecs (the RSEG2 segment format)
+# ---------------------------------------------------------------------------
+#
+# The durable RSEG2 format (repro.storage.segment) encodes each block of
+# a column independently so a scan can decode only the blocks it visits.
+# The codecs below operate on *physical* int64 value arrays — NULL slots
+# already hold their fill value; validity lives at the segment level —
+# and return self-contained little-endian payloads.  Every encoder
+# returns ``None`` when it cannot represent the block or cannot beat the
+# raw size, so raw is always the fallback.
+
+#: Block encoding tags as stored in the RSEG2 header.
+BLOCK_ENCODINGS = ("raw", "rle", "for", "pfor", "dict")
+
+_FOR_HEADER = struct.Struct("<qB")  # base, delta bit width
+_PFOR_HEADER = struct.Struct("<qBII")  # base, width, kept count, exc count
+_RLE_HEADER = struct.Struct("<I")  # run count
+
+
+def _delta_chain(values: np.ndarray) -> np.ndarray:
+    """Leading-zero delta array such that ``base + cumsum`` restores values."""
+    deltas = np.empty(len(values), dtype=np.int64)
+    deltas[0] = 0
+    np.subtract(values[1:], values[:-1], out=deltas[1:])
+    return deltas
+
+
+def _restore_chain(base: int, deltas: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_delta_chain` (int64 wraparound round-trips)."""
+    return (np.cumsum(deltas, dtype=np.int64) + np.int64(base)).astype(np.int64)
+
+
+def encode_block_rle(values: np.ndarray) -> bytes | None:
+    """Run-length encode one block; ``None`` unless it beats raw."""
+    n = len(values)
+    if n == 0:
+        return None
+    starts = np.concatenate(
+        [[0], np.flatnonzero(values[1:] != values[:-1]) + 1]
+    ).astype(np.int64)
+    if _RLE_HEADER.size + 12 * len(starts) >= 8 * n:
+        return None
+    lengths = np.diff(np.concatenate([starts, [n]]))
+    return (
+        _RLE_HEADER.pack(len(starts))
+        + values[starts].astype("<i8").tobytes()
+        + lengths.astype("<u4").tobytes()
+    )
+
+
+def decode_block_rle(data: bytes, count: int) -> np.ndarray:
+    """Decode an RLE block payload back into int64 values."""
+    (runs,) = _RLE_HEADER.unpack_from(data)
+    offset = _RLE_HEADER.size
+    run_values = np.frombuffer(data, dtype="<i8", count=runs, offset=offset)
+    offset += 8 * runs
+    lengths = np.frombuffer(data, dtype="<u4", count=runs, offset=offset)
+    values = np.repeat(run_values.astype(np.int64), lengths)
+    if len(values) != count:
+        raise StorageError("corrupt RLE block: run lengths do not cover block")
+    return values
+
+
+def encode_block_for(values: np.ndarray) -> bytes | None:
+    """Frame-of-reference + zig-zag delta encode; ``None`` if not smaller."""
+    n = len(values)
+    if n == 0:
+        return None
+    deltas = _delta_chain(values)
+    zigzag = (deltas << 1) ^ (deltas >> 63)
+    if (zigzag < 0).any():  # delta overflow: the domain needs 64+ bits
+        return None
+    width = _required_width(zigzag)
+    if _FOR_HEADER.size + (n * width + 7) // 8 >= 8 * n:
+        return None
+    return _FOR_HEADER.pack(int(values[0]), width) + pack_bits(
+        zigzag, width
+    ).tobytes()
+
+
+def decode_block_for(data: bytes, count: int) -> np.ndarray:
+    """Decode a FOR block payload back into int64 values."""
+    base, width = _FOR_HEADER.unpack_from(data)
+    packed = np.frombuffer(data, dtype=np.uint8, offset=_FOR_HEADER.size)
+    zigzag = unpack_bits(packed, width, count)
+    deltas = (zigzag >> 1) ^ -(zigzag & 1)
+    return _restore_chain(base, deltas)
+
+
+def encode_block_pfor(
+    values: np.ndarray, exception_positions: np.ndarray
+) -> bytes | None:
+    """Patch-aware FOR: exceptions verbatim, kept values delta-packed.
+
+    *exception_positions* are block-local row offsets (the PatchIndex
+    rowids restricted to this block, plus any NULL slots).  The kept
+    values must be non-decreasing — the NSC invariant — otherwise the
+    block cannot use this codec and ``None`` is returned.
+    """
+    n = len(values)
+    if n == 0:
+        return None
+    exceptions = np.unique(np.asarray(exception_positions, dtype=np.int64))
+    if len(exceptions) and (
+        exceptions[0] < 0 or exceptions[-1] >= n or len(exceptions) >= n
+    ):
+        return None
+    keep = np.ones(n, dtype=np.bool_)
+    keep[exceptions] = False
+    kept = values[keep]
+    if len(kept):
+        deltas = _delta_chain(kept)
+        if (deltas < 0).any():  # patch set does not cover the disorder
+            return None
+        width = _required_width(deltas)
+    else:
+        width = 0
+    size = (
+        _PFOR_HEADER.size
+        + (len(kept) * width + 7) // 8
+        + 12 * len(exceptions)
+    )
+    if size >= 8 * n:
+        return None
+    packed = (
+        pack_bits(deltas, width).tobytes() if len(kept) and width else b""
+    )
+    return (
+        _PFOR_HEADER.pack(
+            int(kept[0]) if len(kept) else 0,
+            width,
+            len(kept),
+            len(exceptions),
+        )
+        + packed
+        + exceptions.astype("<u4").tobytes()
+        + values[exceptions].astype("<i8").tobytes()
+    )
+
+
+def decode_block_pfor(data: bytes, count: int) -> np.ndarray:
+    """Decode a patch-aware FOR block payload back into int64 values."""
+    base, width, kept_count, exc_count = _PFOR_HEADER.unpack_from(data)
+    offset = _PFOR_HEADER.size
+    packed_len = (kept_count * width + 7) // 8
+    if kept_count and width:
+        packed = np.frombuffer(
+            data, dtype=np.uint8, count=packed_len, offset=offset
+        )
+        deltas = unpack_bits(packed, width, kept_count)
+    else:
+        deltas = np.zeros(kept_count, dtype=np.int64)
+    offset += packed_len
+    positions = np.frombuffer(
+        data, dtype="<u4", count=exc_count, offset=offset
+    ).astype(np.int64)
+    offset += 4 * exc_count
+    exc_values = np.frombuffer(data, dtype="<i8", count=exc_count, offset=offset)
+    if kept_count + exc_count != count:
+        raise StorageError("corrupt PFOR block: counts do not cover block")
+    out = np.empty(count, dtype=np.int64)
+    keep = np.ones(count, dtype=np.bool_)
+    keep[positions] = False
+    if kept_count:
+        out[keep] = _restore_chain(base, deltas)
+    out[positions] = exc_values.astype(np.int64)
+    return out
+
+
+def encode_block_codes(codes: np.ndarray, width: int) -> bytes:
+    """Pack per-block dictionary codes at a fixed *width* (0 = constant)."""
+    payload = struct.pack("<B", width)
+    if width:
+        payload += pack_bits(codes, width).tobytes()
+    return payload
+
+
+def decode_block_codes(data: bytes, count: int) -> np.ndarray:
+    """Unpack per-block dictionary codes; returns int64 code ids."""
+    (width,) = struct.unpack_from("<B", data)
+    if not width:
+        return np.zeros(count, dtype=np.int64)
+    packed = np.frombuffer(data, dtype=np.uint8, offset=1)
+    return unpack_bits(packed, width, count)
+
+
+def build_string_dictionary(
+    values: np.ndarray,
+) -> tuple[list[str], np.ndarray, int]:
+    """Sorted unique strings, per-row codes, and the per-code bit width."""
+    unique, codes = np.unique(values, return_inverse=True)
+    width = (
+        max(1, int(len(unique) - 1).bit_length()) if len(unique) > 1 else 0
+    )
+    return list(unique), codes.astype(np.int64), width
+
+
+def pick_int_block_encoding(
+    values: np.ndarray,
+    exception_positions: np.ndarray | None = None,
+    stats: BlockStats | None = None,
+) -> tuple[str, bytes | None]:
+    """Choose the cheapest encoding for one int64 block.
+
+    Cost-based: candidate payloads are produced and the smallest wins,
+    with raw (``None`` payload) as the floor.  The per-block min/max/null
+    sketch short-circuits hopeless candidates: a constant block goes
+    straight to RLE, and a value span needing 60+ delta bits skips the
+    FOR attempt entirely.
+    """
+    n = len(values)
+    best: tuple[str, bytes | None] = ("raw", None)
+    best_size = 8 * n
+    if n == 0:
+        return best
+
+    constant = (
+        stats is not None
+        and stats.null_count == 0
+        and stats.minimum is not None
+        and stats.minimum == stats.maximum
+    )
+    rle = encode_block_rle(values)
+    if rle is not None and len(rle) < best_size:
+        best, best_size = ("rle", rle), len(rle)
+        if constant:
+            return best  # nothing beats one run
+
+    try_for = True
+    if (
+        stats is not None
+        and stats.minimum is not None
+        and stats.maximum is not None
+        and isinstance(stats.minimum, int)
+        and isinstance(stats.maximum, int)
+    ):
+        span = stats.maximum - stats.minimum
+        try_for = span >= 0 and (2 * span).bit_length() < 60
+    if try_for:
+        encoded = encode_block_for(values)
+        if encoded is not None and len(encoded) < best_size:
+            best, best_size = ("for", encoded), len(encoded)
+
+    if exception_positions is not None and len(exception_positions):
+        encoded = encode_block_pfor(values, exception_positions)
+        if encoded is not None and len(encoded) < best_size:
+            best, best_size = ("pfor", encoded), len(encoded)
+    return best

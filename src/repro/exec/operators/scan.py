@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import PlanError
 from repro.exec.batch import DEFAULT_BATCH_SIZE, RecordBatch
 from repro.exec.operators.base import Operator
+from repro.storage.cache import ScanIO
 from repro.storage.column import ColumnVector
 from repro.storage.schema import Field, Schema
 from repro.storage.table import Table
@@ -80,6 +81,9 @@ class TableScan(Operator):
         self.batch_size = batch_size
         self.scan_ranges = self._normalize_ranges(scan_ranges)
         self._cursor: list[tuple[int, int]] | None = None
+        #: Decode / block-cache accounting for segment-backed columns
+        #: (surfaced as EXPLAIN ANALYZE details).
+        self.io = ScanIO()
 
     def _normalize_ranges(
         self, scan_ranges: list[tuple[int, int]] | None
@@ -126,7 +130,7 @@ class TableScan(Operator):
         local_start = start - partition.base_rowid
         local_stop = stop - partition.base_rowid
         columns: dict[str, ColumnVector] = {
-            name: partition.column(name).slice(local_start, local_stop)
+            name: partition.column_slice(name, local_start, local_stop, self.io)
             for name in self.column_names
         }
         rowids = np.arange(start, stop, dtype=np.int64)

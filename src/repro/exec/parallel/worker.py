@@ -148,9 +148,20 @@ _TABLE_CACHE_LIMIT = 4
 def _tables_for(snapshot: EngineSnapshot) -> dict[str, Table]:
     tables = _TABLE_CACHE.get(snapshot)
     if tables is None:
+        from repro.storage.cache import process_cache
         from repro.storage.engine import DurableEngine
 
-        engine = DurableEngine(snapshot.root, mmap=snapshot.mmap, sync=False)
+        # All snapshots share one per-process block cache: generation
+        # keys keep entries from different checkpoints apart, and the
+        # tail replay materializes mutated partitions, so a stale block
+        # can never be served (decode happens worker-side, off the
+        # memory-mapped encoded payload).
+        engine = DurableEngine(
+            snapshot.root,
+            mmap=snapshot.mmap,
+            sync=False,
+            cache=process_cache(),
+        )
         tables = engine.attach_tables(expected_lsn=snapshot.wal_lsn)
         while len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
             _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))

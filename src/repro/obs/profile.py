@@ -147,6 +147,16 @@ class QueryProfile:
         for node, obs in self._parallel_hooks:
             obs.finalize(node)
         _finalize_tree(self.root)
+        # Cache hit ratios derive from the *merged* raw counters — worker
+        # fragments sum position-wise into the template scan node first,
+        # so the ratio must never be summed itself.
+        for node in self.root.walk():
+            hits = node.details.get("cache_hits")
+            misses = node.details.get("cache_misses")
+            if isinstance(hits, int) and isinstance(misses, int):
+                lookups = hits + misses
+                if lookups:
+                    node.details["cache_hit_ratio"] = round(hits / lookups, 4)
 
     # -- accessors ---------------------------------------------------------
 
@@ -405,6 +415,19 @@ def _finalize_tree(root: ProfileNode) -> None:
         if isinstance(operator, PatchSelect) and operator.stats is not None:
             node.details["rows_in"] = operator.stats.rows_in
             node.details["patch_hits"] = operator.stats.patch_hits
+        elif isinstance(operator, TableScan):
+            io = operator.io
+            if io.blocks_decoded or io.cache_hits or io.bytes_decoded:
+                # Accumulate raw counts: a parallel template node may be
+                # finalized after fragment actuals were merged into it.
+                for key, value in (
+                    ("blocks_decoded", io.blocks_decoded),
+                    ("cache_hits", io.cache_hits),
+                    ("cache_misses", io.cache_misses),
+                    ("bytes_read", io.bytes_read),
+                    ("bytes_decoded", io.bytes_decoded),
+                ):
+                    node.details[key] = node.details.get(key, 0) + value
         node._operator = None  # release the operator tree
 
 

@@ -399,11 +399,27 @@ class PhysicalPlanner:
         installed in the database) silently falls back to threads.  Each
         backend is gated by its own cost curve — the process backend's
         heavier fan-out keeps mid-size scans on threads under ``auto``.
+        The curves also see the table's storage state: the decode work
+        of encoded (RSEG2) segments parallelizes, so cold encoded scans
+        cross the breakeven earlier, while a warm block cache pulls the
+        weight back to the raw-scan baseline.
         """
+        engine = self.database.engine if self.database is not None else None
+        encoded_fraction = (
+            engine.encoded_fraction(table.name) if engine is not None else 0.0
+        )
+        cache_hit_ratio = (
+            engine.cache_hit_ratio() if engine is not None else 0.0
+        )
 
         def gate(backend: str) -> bool:
             return self.cost_model.should_parallelize(
-                covered, self.parallelism, morsel_count, backend
+                covered,
+                self.parallelism,
+                morsel_count,
+                backend,
+                encoded_fraction=encoded_fraction,
+                cache_hit_ratio=cache_hit_ratio,
             )
 
         attachable = self._process_attachable(table)

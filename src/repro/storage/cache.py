@@ -1,0 +1,313 @@
+"""Shared LRU cache of decoded segment blocks.
+
+RSEG2 segments store encoded blocks; decoding them on every scan would
+trade the I/O win for CPU.  The :class:`BlockCache` holds decoded
+:class:`~repro.storage.column.ColumnVector` blocks keyed by
+``(table, segment, column, block, generation)`` — the *generation* is
+the manifest checkpoint LSN the segment was loaded under, so a
+checkpoint (which writes a fresh segment generation) can never collide
+with stale entries: new readers carry the new generation and the old
+keys simply age out (the engine also clears the cache eagerly at
+checkpoint).
+
+The cache is byte-capacity-bounded and fully observable — the ROADMAP's
+pg-xpatch cautionary tale is a cache that silently rejected large
+entries until a ``skip_count`` stat exposed it.  Here every outcome is
+counted: ``cache.hits`` / ``cache.misses`` / ``cache.evictions`` and
+``cache.skip_count`` (entries larger than a quarter of the capacity are
+*skipped*, never admitted, and always counted), plus ``cache.bytes`` /
+``cache.entries`` gauges.
+
+One cache is shared per :class:`~repro.storage.engine.DurableEngine`
+(all tables, all threads — a single lock guards the LRU book-keeping;
+decode happens outside it).  Worker processes share one process-wide
+cache across engine snapshots (:func:`process_cache`), sized by the
+``REPRO_CACHE_BYTES`` environment variable like the coordinator's.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.column import ColumnVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.storage.segment import SegmentReader
+
+#: Default cache capacity when neither the knob nor the env var is set.
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+#: Environment variable overriding the default capacity (bytes).
+ENV_CACHE_BYTES = "REPRO_CACHE_BYTES"
+
+
+def cache_capacity_from_env(default: int = DEFAULT_CACHE_BYTES) -> int:
+    """Resolve the cache capacity from ``REPRO_CACHE_BYTES``."""
+    raw = os.environ.get(ENV_CACHE_BYTES)
+    if raw is None:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError as exc:
+        raise StorageError(
+            f"{ENV_CACHE_BYTES} must be an integer byte count, got {raw!r}"
+        ) from exc
+
+
+def vector_nbytes(vector: ColumnVector) -> int:
+    """Approximate resident bytes of a decoded column vector."""
+    values = vector.values
+    if values.dtype == np.dtype(object):
+        size = 8 * len(values) + sum(len(item) for item in values)
+    else:
+        size = int(values.nbytes)
+    if vector.validity is not None:
+        size += int(vector.validity.nbytes)
+    return size
+
+
+@dataclass
+class ScanIO:
+    """Per-scan decode / cache accounting (feeds EXPLAIN ANALYZE)."""
+
+    blocks_decoded: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Encoded payload bytes fetched from segment files.
+    bytes_read: int = 0
+    #: Decoded vector bytes those payloads expanded into.
+    bytes_decoded: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class BlockCache:
+    """Byte-bounded LRU over decoded blocks with full observability."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_CACHE_BYTES,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        self.capacity_bytes = max(0, int(capacity_bytes))
+        #: Entries above this size are skipped (and counted), so one
+        #: giant block can never wipe the whole working set.
+        self.max_entry_bytes = self.capacity_bytes // 4
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple[ColumnVector, int]] = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.skips = 0
+        self._metrics = metrics
+
+    def attach_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Publish counters/gauges into *metrics* from now on."""
+        self._metrics = metrics
+
+    # -- core operations ------------------------------------------------
+
+    def get(self, key: tuple) -> ColumnVector | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                hit = False
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                hit = True
+        if self._metrics is not None:
+            if hit:
+                self._metrics.counter("cache.hits").inc()
+            else:
+                self._metrics.counter("cache.misses").inc()
+        return entry[0] if entry is not None else None
+
+    def put(
+        self, key: tuple, vector: ColumnVector, nbytes: int | None = None
+    ) -> bool:
+        """Admit a decoded block; returns False when skipped (oversized)."""
+        if nbytes is None:
+            nbytes = vector_nbytes(vector)
+        if nbytes > self.max_entry_bytes:
+            with self._lock:
+                self.skips += 1
+            if self._metrics is not None:
+                self._metrics.counter("cache.skip_count").inc()
+            return False
+        evicted = 0
+        with self._lock:
+            if key in self._entries:
+                return True
+            while self._bytes + nbytes > self.capacity_bytes and self._entries:
+                _, (_, old_bytes) = self._entries.popitem(last=False)
+                self._bytes -= old_bytes
+                evicted += 1
+            self._entries[key] = (vector, nbytes)
+            self._bytes += nbytes
+            self.evictions += evicted
+        if self._metrics is not None and evicted:
+            self._metrics.counter("cache.evictions").inc(evicted)
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (checkpoint generation flip)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    @property
+    def entry_count(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def hit_ratio(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Snapshot of counters and occupancy for ``\\cache`` / gauges."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity_bytes": self.capacity_bytes,
+                "bytes": self._bytes,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_ratio": self.hits / total if total else 0.0,
+                "evictions": self.evictions,
+                "skip_count": self.skips,
+            }
+
+
+class SegmentColumnSource:
+    """Lazy, cache-aware view of one segment-backed partition column.
+
+    Stands in for a materialized :class:`ColumnVector` inside a
+    :class:`~repro.storage.partition.Partition`: scans pull contiguous
+    row slices through :meth:`slice`, which decodes only the blocks the
+    slice touches (through the shared :class:`BlockCache`), so pruned
+    blocks cost neither I/O nor decode work.
+    """
+
+    __slots__ = ("reader", "cache", "table", "column", "segment", "generation")
+
+    def __init__(
+        self,
+        reader: "SegmentReader",
+        cache: BlockCache | None,
+        *,
+        table: str,
+        column: str,
+        segment: str,
+        generation: int,
+    ):
+        self.reader = reader
+        self.cache = cache
+        self.table = table
+        self.column = column
+        self.segment = segment
+        self.generation = generation
+
+    @property
+    def dtype(self):
+        return self.reader.dtype
+
+    def __len__(self) -> int:
+        return self.reader.rows
+
+    def block(self, index: int, io: ScanIO | None = None) -> ColumnVector:
+        """Fetch one decoded block, preferring the cache."""
+        key = (self.table, self.segment, self.column, index, self.generation)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                if io is not None:
+                    io.cache_hits += 1
+                return cached
+        vector = self.reader.decode_block(index)
+        nbytes = vector_nbytes(vector)
+        if io is not None:
+            io.blocks_decoded += 1
+            if self.cache is not None:
+                io.cache_misses += 1
+            io.bytes_read += self.reader.block_payload_bytes(index)
+            io.bytes_decoded += nbytes
+        if self.cache is not None:
+            self.cache.put(key, vector, nbytes)
+        return vector
+
+    def slice(
+        self, start: int, stop: int, io: ScanIO | None = None
+    ) -> ColumnVector:
+        """Assemble rows ``[start, stop)`` from decoded blocks."""
+        if stop <= start:
+            return ColumnVector.empty(self.reader.dtype)
+        size = self.reader.block_size
+        parts: list[ColumnVector] = []
+        for index in range(start // size, (stop - 1) // size + 1):
+            block = self.block(index, io)
+            base = index * size
+            lo = max(start, base) - base
+            hi = min(stop, base + len(block)) - base
+            parts.append(
+                block if lo == 0 and hi == len(block) else block.slice(lo, hi)
+            )
+        return parts[0] if len(parts) == 1 else ColumnVector.concat(parts)
+
+    def materialize(self, io: ScanIO | None = None) -> ColumnVector:
+        """Decode the whole column (mutation and discovery paths).
+
+        Bypasses the cache on purpose: the caller keeps the full column
+        resident afterwards (``Partition`` installs it), so admitting
+        every block would only double the memory and skew the hit-ratio
+        statistics the cost model consumes with one-shot misses.
+        """
+        if not self.reader.rows:
+            return ColumnVector.empty(self.reader.dtype)
+        vector = self.reader.read_all()
+        if io is not None:
+            io.blocks_decoded += self.reader.block_count
+            io.bytes_read += sum(
+                self.reader.block_payload_bytes(index)
+                for index in range(self.reader.block_count)
+            )
+            io.bytes_decoded += vector_nbytes(vector)
+        return vector
+
+
+# One cache per worker process, shared across engine snapshots so
+# repeated attaches of the same directory reuse decoded blocks.
+_PROCESS_CACHE: BlockCache | None = None
+
+
+def process_cache() -> BlockCache:
+    """The per-process block cache used by parallel worker attach."""
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = BlockCache(cache_capacity_from_env())
+    return _PROCESS_CACHE

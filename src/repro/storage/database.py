@@ -80,6 +80,8 @@ class Database:
         parallelism: int | None = None,
         mmap: bool = False,
         sync: bool = True,
+        cache_bytes: int | None = None,
+        encoding: str = "auto",
     ):
         """Open a database.
 
@@ -89,8 +91,13 @@ class Database:
         data is WAL-logged, ``CHECKPOINT`` flushes columnar segment
         files, and reopening the same *path* recovers tables and
         rebuilds PatchIndexes from data.  ``mmap=True`` memory-maps
-        checkpointed fixed-width columns instead of loading them;
-        ``sync=False`` skips fsync (benchmarks only).
+        checkpointed segment payloads instead of loading them;
+        ``sync=False`` skips fsync (benchmarks only).  *cache_bytes*
+        bounds the shared decoded-block cache (default: the
+        ``REPRO_CACHE_BYTES`` environment variable, else 64 MiB; ``0``
+        disables caching) and *encoding* picks the segment encoding
+        written at checkpoint (``"auto"`` = per-block cost-based picker,
+        ``"raw"`` = uncompressed blocks).
         """
         from repro.storage.engine import DurableEngine, MemoryEngine
 
@@ -98,6 +105,11 @@ class Database:
             raise StorageError(
                 "pass either wal_path (metadata-only WAL) or path "
                 "(durable data directory), not both"
+            )
+        if path is None and (cache_bytes is not None or encoding != "auto"):
+            raise StorageError(
+                "cache_bytes= and encoding= require a durable database "
+                "(pass path=)"
             )
         self.catalog = Catalog()
         #: Default degree of parallelism for queries issued through this
@@ -109,7 +121,13 @@ class Database:
         self._replaying = False
         self._init_observability()
         if path is not None:
-            self.engine = DurableEngine(path, mmap=mmap, sync=sync)
+            self.engine = DurableEngine(
+                path,
+                mmap=mmap,
+                sync=sync,
+                cache_bytes=cache_bytes,
+                encoding=encoding,
+            )
             self.wal = self.engine.open_wal(self, None)
             self.engine.recover(self)
         else:
@@ -397,6 +415,20 @@ class Database:
                     self.obs.gauge(f"{prefix}.invalidations").set(
                         stats.invalidations
                     )
+        cache_stats = self.engine.cache_stats()
+        if cache_stats is not None:
+            self.obs.gauge("cache.bytes").set(cache_stats["bytes"])
+            self.obs.gauge("cache.entries").set(cache_stats["entries"])
+            self.obs.gauge("cache.hit_ratio").set(cache_stats["hit_ratio"])
+            self.obs.gauge("cache.capacity_bytes").set(
+                cache_stats["capacity_bytes"]
+            )
+        for table_name, ratio in self.engine.encoded_ratios().items():
+            self.obs.gauge(f"storage.{table_name}.encoded_ratio").set(ratio)
+
+    def cache_stats(self) -> dict | None:
+        """Block-cache counters and occupancy (None without a cache)."""
+        return self.engine.cache_stats()
 
     # -- recovery -------------------------------------------------------------
 

@@ -44,6 +44,11 @@ import numpy as np
 
 from repro.errors import StorageError, WalError
 from repro.storage.blocks import DEFAULT_BLOCK_SIZE
+from repro.storage.cache import (
+    BlockCache,
+    SegmentColumnSource,
+    cache_capacity_from_env,
+)
 from repro.storage.column import ColumnVector
 from repro.storage.manifest import (
     Manifest,
@@ -53,7 +58,7 @@ from repro.storage.manifest import (
     write_manifest,
 )
 from repro.storage.partition import Partition
-from repro.storage.segment import read_segment, write_segment
+from repro.storage.segment import ENCODING_MODES, open_segment, write_segment
 from repro.storage.table import Table
 from repro.storage.wal import DATA_KINDS, WalRecord, WriteAheadLog
 from repro.types import DataType
@@ -110,6 +115,22 @@ class StorageEngine:
     #: True when table mutations are logged as WAL data records.
     logs_data = False
 
+    def cache_stats(self) -> dict | None:
+        """Block-cache snapshot, or None when the engine has no cache."""
+        return None
+
+    def encoded_fraction(self, table_name: str) -> float:
+        """Fraction of *table_name*'s blocks with a non-raw encoding."""
+        return 0.0
+
+    def encoded_ratios(self) -> dict[str, float]:
+        """Per-table encoded/raw payload byte ratio (empty without one)."""
+        return {}
+
+    def cache_hit_ratio(self) -> float:
+        """Lifetime block-cache hit ratio (0.0 without a cache)."""
+        return 0.0
+
     def open_wal(
         self, database: "Database", wal_path: str | os.PathLike | None
     ) -> WriteAheadLog:
@@ -160,10 +181,54 @@ class DurableEngine(StorageEngine):
         *,
         mmap: bool = False,
         sync: bool = True,
+        cache_bytes: int | None = None,
+        encoding: str = "auto",
+        cache: BlockCache | None = None,
     ):
+        if encoding not in ENCODING_MODES:
+            raise StorageError(
+                f"encoding must be one of {ENCODING_MODES}, got {encoding!r}"
+            )
         self.root = Path(root)
         self.mmap = mmap
         self.sync = sync
+        #: Segment encoding mode for checkpoints: "auto" (cost-based
+        #: per-block picker) or "raw".
+        self.encoding = encoding
+        self.cache_bytes = (
+            cache_capacity_from_env() if cache_bytes is None else max(0, int(cache_bytes))
+        )
+        #: Shared decoded-block cache; ``None`` when disabled
+        #: (``cache_bytes=0``).  Workers inject a process-wide cache.
+        if cache is not None:
+            self._cache: BlockCache | None = cache
+        elif self.cache_bytes > 0:
+            self._cache = BlockCache(self.cache_bytes)
+        else:
+            self._cache = None
+        #: Per-table fraction of blocks carrying a non-raw encoding and
+        #: encoded/raw byte ratio, refreshed at checkpoint and load.
+        self._encoded_fractions: dict[str, float] = {}
+        self._encoded_ratios: dict[str, float] = {}
+
+    @property
+    def cache(self) -> BlockCache | None:
+        return self._cache
+
+    def cache_stats(self) -> dict | None:
+        if self._cache is None:
+            return None
+        return self._cache.stats()
+
+    def encoded_fraction(self, table_name: str) -> float:
+        return self._encoded_fractions.get(table_name, 0.0)
+
+    def encoded_ratios(self) -> dict[str, float]:
+        """Per-table encoded/raw payload byte ratio (≤ 1.0 when smaller)."""
+        return dict(self._encoded_ratios)
+
+    def cache_hit_ratio(self) -> float:
+        return self._cache.hit_ratio() if self._cache is not None else 0.0
 
     # -- lifecycle --------------------------------------------------------
 
@@ -177,6 +242,8 @@ class DurableEngine(StorageEngine):
             )
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / SEGMENTS_DIR).mkdir(exist_ok=True)
+        if self._cache is not None:
+            self._cache.attach_metrics(database.obs)
         return WriteAheadLog(
             self.root / WAL_NAME,
             sync=self.sync,
@@ -243,11 +310,38 @@ class DurableEngine(StorageEngine):
 
     # -- checkpoint -------------------------------------------------------
 
+    def _nsc_patch_rowids(
+        self, database: "Database", table: Table
+    ) -> dict[str, dict[int, np.ndarray]]:
+        """Partition-local NSC patch rowids per column of *table*.
+
+        The patch-aware ``pfor`` codec stores exactly these rows
+        verbatim so the kept values pack at the clean-column rate — the
+        compressor reusing the PatchIndex's knowledge (paper §VIII).
+        """
+        per_column: dict[str, dict[int, np.ndarray]] = {}
+        for index in database.catalog.indexes_on(table.name):
+            if index.kind != "sorted":
+                continue
+            by_partition = per_column.setdefault(index.column_name, {})
+            for partition in table.partitions:
+                rowids = index.partition_patches(
+                    partition.partition_id
+                ).rowids()
+                existing = by_partition.get(partition.partition_id)
+                if existing is not None:
+                    rowids = np.union1d(existing, rowids)
+                by_partition[partition.partition_id] = np.asarray(
+                    rowids, dtype=np.int64
+                )
+        return per_column
+
     def checkpoint(self, database: "Database") -> dict:
         """Flush segments, install the manifest, mark and compact the WAL."""
         lsn = database.wal.last_lsn
         generation = f"g{lsn:012d}"
         tables: dict[str, TableManifest] = {}
+        table_details: dict[str, dict] = {}
         segment_count = 0
         segment_bytes = 0
         for table in database.catalog.tables():
@@ -255,6 +349,19 @@ class DurableEngine(StorageEngine):
             table_dir = self.root / SEGMENTS_DIR / generation / table.name
             table_dir.mkdir(parents=True, exist_ok=True)
             table_bytes = 0
+            patch_rowids = (
+                self._nsc_patch_rowids(database, table)
+                if self.encoding == "auto"
+                else {}
+            )
+            column_details: dict[str, dict] = {
+                field.name: {"segment_bytes": 0, "encodings": {}}
+                for field in table.schema
+            }
+            encoded_blocks = 0
+            total_blocks = 0
+            payload_total = 0
+            raw_payload_total = 0
             for partition in table.partitions:
                 segments: dict[str, str] = {}
                 for field in table.schema:
@@ -262,15 +369,30 @@ class DurableEngine(StorageEngine):
                     relative = (
                         f"{SEGMENTS_DIR}/{generation}/{table.name}/{filename}"
                     )
-                    written = write_segment(
+                    info = write_segment(
                         table_dir / filename,
                         partition.column(field.name),
                         table.block_size,
                         sync=self.sync,
+                        encoding=self.encoding,
+                        patch_rowids=patch_rowids.get(field.name, {}).get(
+                            partition.partition_id
+                        ),
                     )
                     segments[field.name] = relative
                     segment_count += 1
-                    table_bytes += written
+                    table_bytes += info.bytes_written
+                    detail = column_details[field.name]
+                    detail["segment_bytes"] += info.bytes_written
+                    for tag, count in info.encodings.items():
+                        detail["encodings"][tag] = (
+                            detail["encodings"].get(tag, 0) + count
+                        )
+                        total_blocks += count
+                        if tag != "raw":
+                            encoded_blocks += count
+                    payload_total += info.payload_bytes
+                    raw_payload_total += info.raw_payload_bytes
                 partition_manifests.append(
                     PartitionManifest(
                         row_count=partition.row_count, segments=segments
@@ -285,11 +407,25 @@ class DurableEngine(StorageEngine):
                 partitions=partition_manifests,
             )
             segment_bytes += table_bytes
+            self._encoded_fractions[table.name] = (
+                encoded_blocks / total_blocks if total_blocks else 0.0
+            )
+            self._encoded_ratios[table.name] = (
+                payload_total / raw_payload_total if raw_payload_total else 1.0
+            )
+            table_details[table.name] = {
+                "segment_bytes": table_bytes,
+                "encoded_ratio": self._encoded_ratios[table.name],
+                "columns": column_details,
+            }
             database.obs.gauge(f"storage.{table.name}.segments").set(
                 len(partition_manifests) * len(table.schema)
             )
             database.obs.gauge(f"storage.{table.name}.segment_bytes").set(
                 table_bytes
+            )
+            database.obs.gauge(f"storage.{table.name}.encoded_ratio").set(
+                self._encoded_ratios[table.name]
             )
         write_manifest(
             self.root, Manifest(checkpoint_lsn=lsn, tables=tables),
@@ -298,6 +434,11 @@ class DurableEngine(StorageEngine):
         database.wal.checkpoint({"checkpoint_lsn": lsn})
         pruned = database.wal.compact()
         self._collect_old_generations(generation)
+        # The generation flipped: every cached block keyed by an older
+        # generation is unreachable from the new readers, so drop them
+        # eagerly rather than letting them age out of the LRU.
+        if self._cache is not None:
+            self._cache.clear()
         database.obs.gauge("storage.checkpoint_lsn").set(lsn)
         return {
             "engine": self.name,
@@ -306,6 +447,7 @@ class DurableEngine(StorageEngine):
             "segments": segment_count,
             "segment_bytes": segment_bytes,
             "wal_pruned": pruned,
+            "table_details": table_details,
         }
 
     def _collect_old_generations(self, current: str) -> None:
@@ -324,7 +466,9 @@ class DurableEngine(StorageEngine):
         checkpoint_lsn = manifest.checkpoint_lsn if manifest else None
         if manifest is not None:
             for table_manifest in manifest.tables.values():
-                database._install_table(self._load_table(table_manifest))
+                database._install_table(
+                    self._load_table(table_manifest, manifest.checkpoint_lsn)
+                )
         # Tables dropped after the checkpoint are gone even though the
         # manifest still carries them; apply those drops before replay.
         for record in database.wal.records():
@@ -431,7 +575,9 @@ class DurableEngine(StorageEngine):
         tables: dict[str, Table] = {}
         if manifest is not None:
             for table_manifest in manifest.tables.values():
-                tables[table_manifest.name] = self._load_table(table_manifest)
+                tables[table_manifest.name] = self._load_table(
+                    table_manifest, manifest.checkpoint_lsn
+                )
         for record in wal.records():
             if (
                 record.kind == "drop_table"
@@ -464,8 +610,19 @@ class DurableEngine(StorageEngine):
                 self._apply_record_to_table(table, record)
         return tables
 
-    def _load_table(self, table_manifest: TableManifest) -> Table:
-        """Materialize one table from its checkpointed segment files."""
+    def _load_table(
+        self, table_manifest: TableManifest, generation: int
+    ) -> Table:
+        """Attach one table to its checkpointed segment files.
+
+        Columns stay *lazy*: each is backed by a
+        :class:`~repro.storage.cache.SegmentColumnSource` that decodes
+        blocks on demand through the shared cache, keyed by the manifest
+        *generation* (the checkpoint LSN) so a later checkpoint can
+        never serve stale blocks.  Block sketches come straight from the
+        segment headers, so range pruning works without touching any
+        value bytes.
+        """
         from repro.storage.database import payload_to_schema
 
         schema = payload_to_schema(table_manifest.schema)
@@ -476,30 +633,68 @@ class DurableEngine(StorageEngine):
             table_manifest.block_size,
         )
         partitions: list[Partition] = []
+        encoded_blocks = 0
+        total_blocks = 0
+        payload_total = 0
+        raw_payload_total = 0
         for partition_id, partition_manifest in enumerate(
             table_manifest.partitions
         ):
-            columns: dict[str, ColumnVector] = {}
+            sources: dict[str, SegmentColumnSource] = {}
             stats = {}
             for field in schema:
-                column, blocks = read_segment(
-                    self.root / partition_manifest.segments[field.name],
-                    mmap=self.mmap,
+                relative = partition_manifest.segments[field.name]
+                reader = open_segment(
+                    self.root / relative, mmap=self.mmap
                 )
-                columns[field.name] = column
-                stats[field.name] = blocks
+                sources[field.name] = SegmentColumnSource(
+                    reader,
+                    self._cache,
+                    table=table_manifest.name,
+                    column=field.name,
+                    segment=relative,
+                    generation=generation,
+                )
+                stats[field.name] = reader.stats
+                # Estimate the encoded/raw ratio from the header alone
+                # (strings lack an exact raw size there; use encoded).
+                from repro.types.datatypes import numpy_dtype
+
+                item = (
+                    numpy_dtype(reader.dtype).itemsize
+                    if reader.dtype != DataType.STRING
+                    else 0
+                )
+                for index, tag in enumerate(reader.encodings):
+                    total_blocks += 1
+                    if tag != "raw":
+                        encoded_blocks += 1
+                    encoded_size = reader.block_payload_bytes(index)
+                    payload_total += encoded_size
+                    raw_payload_total += (
+                        reader.stats[index].row_count * item
+                        if item
+                        else encoded_size
+                    )
             partition = Partition(
                 partition_id,
                 schema,
-                columns,
+                {},
                 base_rowid=0,
                 block_size=table_manifest.block_size,
+                sources=sources,
             )
             for name, blocks in stats.items():
                 partition.preload_block_stats(name, blocks)
             partitions.append(partition)
         table.partitions = partitions
         table._renumber()
+        self._encoded_fractions[table_manifest.name] = (
+            encoded_blocks / total_blocks if total_blocks else 0.0
+        )
+        self._encoded_ratios[table_manifest.name] = (
+            payload_total / raw_payload_total if raw_payload_total else 1.0
+        )
         return table
 
     def _apply_data_record(

@@ -23,7 +23,12 @@ from pathlib import Path
 from repro.errors import StorageError
 
 #: Bump when the manifest or segment layout changes incompatibly.
-FORMAT_VERSION = 1
+#: Version 2 introduced encoded RSEG2 segments; version-1 manifests
+#: (pointing at raw RSEG1 segments) remain fully readable.
+FORMAT_VERSION = 2
+
+#: Manifest versions this reader understands.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 MANIFEST_NAME = "manifest.json"
 
@@ -92,10 +97,10 @@ class Manifest:
         if not isinstance(raw, dict) or "checkpoint_lsn" not in raw:
             raise StorageError("corrupt manifest: missing checkpoint_lsn")
         version = int(raw.get("format_version", 0))
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise StorageError(
                 f"manifest format version {version} is not supported "
-                f"(expected {FORMAT_VERSION})"
+                f"(expected one of {sorted(SUPPORTED_VERSIONS)})"
             )
         tables: dict[str, TableManifest] = {}
         for name, entry in raw.get("tables", {}).items():

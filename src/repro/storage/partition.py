@@ -13,7 +13,7 @@ exceptional path.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.storage.blocks import (
 from repro.storage.column import ColumnVector
 from repro.storage.schema import Schema
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.cache import ScanIO, SegmentColumnSource
+
 
 class Partition:
     """Columnar storage for one horizontal slice of a table."""
@@ -38,40 +41,77 @@ class Partition:
         columns: Mapping[str, ColumnVector],
         base_rowid: int,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        sources: "Mapping[str, SegmentColumnSource] | None" = None,
     ):
         self.partition_id = partition_id
         self.schema = schema
         self.base_rowid = base_rowid
         self.block_size = block_size
         self._columns: dict[str, ColumnVector] = {}
+        #: Lazy segment-backed columns (decode-on-demand through the
+        #: block cache); a column materialized into ``_columns`` always
+        #: shadows its source.
+        self._sources: dict[str, "SegmentColumnSource"] = {}
         self._block_stats: dict[str, list[BlockStats]] = {}
 
         row_count: int | None = None
         for field in schema:
-            if field.name not in columns:
+            backing: "ColumnVector | SegmentColumnSource | None"
+            if sources is not None and field.name in sources:
+                backing = sources[field.name]
+            else:
+                backing = columns.get(field.name)
+            if backing is None:
                 raise SchemaError(f"partition missing column {field.name!r}")
-            column = columns[field.name]
-            if column.dtype != field.dtype:
+            if backing.dtype != field.dtype:
                 raise SchemaError(
-                    f"column {field.name!r} has type {column.dtype.name}, "
+                    f"column {field.name!r} has type {backing.dtype.name}, "
                     f"schema says {field.dtype.name}"
                 )
             if row_count is None:
-                row_count = len(column)
-            elif len(column) != row_count:
+                row_count = len(backing)
+            elif len(backing) != row_count:
                 raise StorageError(
-                    f"column {field.name!r} length {len(column)} != {row_count}"
+                    f"column {field.name!r} length {len(backing)} != {row_count}"
                 )
-            self._columns[field.name] = column
+            if isinstance(backing, ColumnVector):
+                self._columns[field.name] = backing
+            else:
+                self._sources[field.name] = backing
         self.row_count = row_count if row_count is not None else 0
 
     # -- access --------------------------------------------------------
 
     def column(self, name: str) -> ColumnVector:
+        """Materialized column vector (decodes a lazy source fully)."""
         try:
             return self._columns[name]
         except KeyError:
-            raise SchemaError(f"unknown column: {name!r}") from None
+            source = self._sources.get(name)
+            if source is None:
+                raise SchemaError(f"unknown column: {name!r}") from None
+            vector = source.materialize()
+            self._columns[name] = vector
+            return vector
+
+    def column_slice(
+        self, name: str, start: int, stop: int, io: "ScanIO | None" = None
+    ) -> ColumnVector:
+        """Rows ``[start, stop)`` of column *name*, decoding only the
+        blocks the slice touches when the column is segment-backed."""
+        vector = self._columns.get(name)
+        if vector is not None:
+            return vector.slice(start, stop)
+        source = self._sources.get(name)
+        if source is not None:
+            return source.slice(start, stop, io)
+        return self.column(name).slice(start, stop)
+
+    def _materialize_all(self) -> None:
+        """Resolve every lazy source before a mutation rewrites rows."""
+        for name in list(self._sources):
+            self.column(name)
+        self._sources.clear()
 
     @property
     def rowid_range(self) -> tuple[int, int]:
@@ -137,6 +177,7 @@ class Partition:
 
     def append(self, columns: Mapping[str, ColumnVector]) -> None:
         """Append rows; invalidates cached block statistics."""
+        self._materialize_all()
         appended: dict[str, ColumnVector] = {}
         row_count: int | None = None
         for field in self.schema:
@@ -168,6 +209,7 @@ class Partition:
         """
         if len(keep_mask) != self.row_count:
             raise StorageError("keep_mask length mismatch")
+        self._materialize_all()
         for name in list(self._columns):
             self._columns[name] = self._columns[name].filter(keep_mask)
         self.row_count = int(keep_mask.sum())

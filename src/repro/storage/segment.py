@@ -1,27 +1,33 @@
 """Immutable per-column segment files (the durable columnar format).
 
 A *segment* persists one :class:`~repro.storage.column.ColumnVector` —
-one column of one partition — as a single self-describing file:
+one column of one partition — as a single self-describing file.  Two
+format versions exist:
 
-``RSEG1`` magic line
-    format identification and version.
-JSON header line
-    logical dtype, row count, block size, byte lengths of the payload
-    sections and the per-block min/max/null sketches (the "small
-    materialized aggregates" the scan uses for range pruning), so a
-    reader can restore :class:`~repro.storage.blocks.BlockStats`
-    without touching the value bytes.
-binary payload
-    the raw NumPy value buffer for fixed-width types, or an
-    ``int64`` offsets array plus a UTF-8 byte pool for STRING columns,
-    followed by the validity mask packed to one bit per row (omitted
-    for all-valid columns).
+``RSEG1`` (legacy, read-only)
+    magic + JSON header + one raw NumPy value buffer (or an ``int64``
+    offsets array plus a UTF-8 pool for STRING columns) + packed
+    validity bits.  Still fully readable; new checkpoints write RSEG2.
 
-Fixed-width value buffers can be *memory-mapped* on read
-(``mmap=True``), which lets serial and parallel scans run unchanged
-against segment-backed columns without loading them eagerly: a
-``np.memmap`` behaves exactly like the in-memory array (it is read-only,
-which the point-update path already handles by copy-on-write).
+``RSEG2`` (current)
+    magic + JSON header + per-block *encoded* payloads.  Each block of
+    ``block_size`` rows is encoded independently by a cost-based picker
+    (:func:`repro.core.compression.pick_int_block_encoding`) driven by
+    the per-block min/max/null sketches: ``raw`` (the fallback), ``rle``
+    for runs, ``for`` (frame-of-reference + zig-zag delta) for dense
+    ints, ``pfor`` (patch-aware FOR — the table's PatchIndex rowids
+    store exceptions verbatim so the kept values pack at the
+    clean-column rate, the paper's §VIII outlook), and ``dict`` for
+    low-cardinality strings against a segment-level sorted dictionary.
+    The header records ``[start, stop, min, max, nulls, enc, offset,
+    length]`` per block, so a reader can prune *and* decode blocks
+    independently — the scan path decodes on demand through the block
+    cache (:mod:`repro.storage.cache`) instead of materializing whole
+    columns.
+
+Fixed-width RSEG1 value buffers can be memory-mapped on read
+(``mmap=True``); RSEG2 maps the encoded payload region instead and
+decodes per block (in the worker process for parallel scans).
 
 Segments are immutable once written: a checkpoint writes a fresh
 generation of files and the manifest flips to it atomically.
@@ -31,22 +37,38 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.compression import (
+    build_string_dictionary,
+    decode_block_codes,
+    decode_block_for,
+    decode_block_pfor,
+    decode_block_rle,
+    encode_block_codes,
+    pick_int_block_encoding,
+)
 from repro.errors import StorageError
 from repro.storage.blocks import DEFAULT_BLOCK_SIZE, BlockStats, compute_block_stats
 from repro.storage.column import ColumnVector
 from repro.types import DataType
 from repro.types.datatypes import numpy_dtype
 
-_MAGIC = b"RSEG1\n"
+_MAGIC_V1 = b"RSEG1\n"
+_MAGIC_V2 = b"RSEG2\n"
 
 #: Logical dtypes stored as their raw fixed-width NumPy buffer.
 _FIXED_WIDTH = frozenset(
     {DataType.INT64, DataType.FLOAT64, DataType.DATE, DataType.BOOL}
 )
+#: Dtypes whose physical values are int64 (eligible for int codecs).
+_INT_PHYSICAL = frozenset({DataType.INT64, DataType.DATE})
+
+#: Segment-level encoding knob values.
+ENCODING_MODES = ("auto", "raw")
 
 
 def _jsonable_stat(value: object) -> object:
@@ -56,18 +78,221 @@ def _jsonable_stat(value: object) -> object:
     return value
 
 
+@dataclass(frozen=True)
+class SegmentWriteInfo:
+    """What one :func:`write_segment` call produced.
+
+    ``encodings`` maps encoding tag → block count; ``payload_bytes`` is
+    the encoded block payload total and ``raw_payload_bytes`` what raw
+    blocks would have cost, so ``payload_bytes / raw_payload_bytes`` is
+    the segment's compression ratio (≤ 1.0 when encoding helped).
+    """
+
+    bytes_written: int
+    rows: int
+    encodings: dict[str, int] = field(default_factory=dict)
+    payload_bytes: int = 0
+    raw_payload_bytes: int = 0
+
+    @property
+    def encoded_ratio(self) -> float:
+        if self.raw_payload_bytes <= 0:
+            return 1.0
+        return self.payload_bytes / self.raw_payload_bytes
+
+
+def _raw_fixed_payload(values: np.ndarray) -> bytes:
+    return np.ascontiguousarray(values).tobytes()
+
+
+def _raw_string_payload(pieces: list[bytes]) -> bytes:
+    offsets = np.zeros(len(pieces) + 1, dtype=np.int64)
+    np.cumsum([len(piece) for piece in pieces], out=offsets[1:])
+    return offsets.tobytes() + b"".join(pieces)
+
+
 def write_segment(
     path: str | os.PathLike,
     column: ColumnVector,
     block_size: int = DEFAULT_BLOCK_SIZE,
     *,
     sync: bool = True,
-) -> int:
-    """Write *column* as a segment file at *path*; returns bytes written.
+    encoding: str = "auto",
+    patch_rowids: np.ndarray | None = None,
+) -> SegmentWriteInfo:
+    """Write *column* as an RSEG2 segment file at *path*.
+
+    ``encoding="auto"`` runs the per-block cost-based picker;
+    ``encoding="raw"`` forces raw blocks (the RSEG1-equivalent layout in
+    the v2 container).  *patch_rowids* are the partition-local rowids of
+    the column's NSC PatchIndex patches: blocks containing them may use
+    the patch-aware ``pfor`` codec, storing those rows verbatim.
 
     The file is written to a temporary sibling and renamed into place so
     a crash mid-write never leaves a torn segment behind a manifest.
     """
+    if encoding not in ENCODING_MODES:
+        raise StorageError(f"unknown segment encoding mode: {encoding!r}")
+    path = Path(path)
+    stats = compute_block_stats(column, block_size)
+    rows = len(column)
+    validity = column.validity
+
+    patch_positions: np.ndarray | None = None
+    if patch_rowids is not None and len(patch_rowids):
+        patch_positions = np.unique(
+            np.asarray(patch_rowids, dtype=np.int64)
+        )
+
+    # Segment-level string dictionary: profitable when the per-block
+    # packed codes plus the dictionary undercut the raw offsets + pool.
+    dictionary: list[str] | None = None
+    dict_codes: np.ndarray | None = None
+    dict_width = 0
+    dict_payload = b""
+    pieces_by_block: list[list[bytes]] = []
+    if column.dtype == DataType.STRING:
+        physical = [
+            (value if column.is_valid(position) else "")
+            for position, value in enumerate(column.values)
+        ]
+        pieces = [text.encode("utf-8") for text in physical]
+        pieces_by_block = [
+            pieces[block.start : block.stop] for block in stats
+        ]
+        if encoding == "auto" and rows:
+            values = np.empty(rows, dtype=object)
+            for position, text in enumerate(physical):
+                values[position] = text
+            unique, codes, width = build_string_dictionary(values)
+            pool = b"".join(text.encode("utf-8") for text in unique)
+            offsets = np.zeros(len(unique) + 1, dtype=np.int64)
+            np.cumsum([len(u.encode("utf-8")) for u in unique], out=offsets[1:])
+            dict_size = len(offsets.tobytes()) + len(pool) + sum(
+                1 + (block.row_count * width + 7) // 8 for block in stats
+            )
+            raw_size = sum(
+                8 * (block.row_count + 1) for block in stats
+            ) + sum(len(piece) for piece in pieces)
+            if dict_size < raw_size:
+                dictionary = unique
+                dict_codes = codes
+                dict_width = width
+                dict_payload = offsets.tobytes() + pool
+
+    block_entries: list[list] = []
+    block_payloads: list[bytes] = []
+    encodings: dict[str, int] = {}
+    payload_bytes = 0
+    raw_payload_bytes = 0
+    offset = len(dict_payload)
+    for block_index, block in enumerate(stats):
+        values = column.values[block.start : block.stop]
+        if column.dtype == DataType.STRING:
+            raw_cost = 8 * (block.row_count + 1) + sum(
+                len(piece) for piece in pieces_by_block[block_index]
+            )
+            if dict_codes is not None:
+                tag = "dict"
+                payload = encode_block_codes(
+                    dict_codes[block.start : block.stop], dict_width
+                )
+            else:
+                tag = "raw"
+                payload = _raw_string_payload(pieces_by_block[block_index])
+        else:
+            raw_cost = values.dtype.itemsize * block.row_count
+            tag, encoded = "raw", None
+            if encoding == "auto" and column.dtype in _INT_PHYSICAL:
+                exceptions: np.ndarray | None = None
+                local: list[np.ndarray] = []
+                if patch_positions is not None:
+                    inside = patch_positions[
+                        (patch_positions >= block.start)
+                        & (patch_positions < block.stop)
+                    ]
+                    if len(inside):
+                        local.append(inside - block.start)
+                if validity is not None:
+                    nulls = np.flatnonzero(
+                        ~validity[block.start : block.stop]
+                    )
+                    if len(nulls):
+                        local.append(nulls.astype(np.int64))
+                if local:
+                    exceptions = np.concatenate(local)
+                tag, encoded = pick_int_block_encoding(
+                    values, exceptions, stats=block
+                )
+            payload = (
+                encoded if encoded is not None else _raw_fixed_payload(values)
+            )
+        block_entries.append(
+            [
+                block.start,
+                block.stop,
+                _jsonable_stat(block.minimum),
+                _jsonable_stat(block.maximum),
+                block.null_count,
+                tag,
+                offset,
+                len(payload),
+            ]
+        )
+        block_payloads.append(payload)
+        encodings[tag] = encodings.get(tag, 0) + 1
+        payload_bytes += len(payload)
+        raw_payload_bytes += raw_cost
+        offset += len(payload)
+
+    validity_bytes = (
+        np.packbits(validity).tobytes() if validity is not None else b""
+    )
+    payload_len = offset + len(validity_bytes)
+    header = {
+        "dtype": column.dtype.value,
+        "rows": rows,
+        "block_size": block_size,
+        "validity_len": len(validity_bytes),
+        "payload_len": payload_len,
+        "dict": (
+            {"count": len(dictionary), "bytes": len(dict_payload)}
+            if dictionary is not None
+            else None
+        ),
+        "blocks": block_entries,
+    }
+    header_line = json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n"
+
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(_MAGIC_V2)
+        handle.write(header_line)
+        handle.write(dict_payload)
+        for payload in block_payloads:
+            handle.write(payload)
+        handle.write(validity_bytes)
+        handle.flush()
+        if sync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return SegmentWriteInfo(
+        bytes_written=len(_MAGIC_V2) + len(header_line) + payload_len,
+        rows=rows,
+        encodings=encodings,
+        payload_bytes=payload_bytes,
+        raw_payload_bytes=raw_payload_bytes,
+    )
+
+
+def write_segment_v1(
+    path: str | os.PathLike,
+    column: ColumnVector,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    *,
+    sync: bool = True,
+) -> int:
+    """Write the legacy RSEG1 layout (kept for mixed-version tests)."""
     path = Path(path)
     stats = compute_block_stats(column, block_size)
     blocks = [
@@ -115,7 +340,7 @@ def write_segment(
 
     tmp = path.with_suffix(path.suffix + ".tmp")
     with open(tmp, "wb") as handle:
-        handle.write(_MAGIC)
+        handle.write(_MAGIC_V1)
         handle.write(header_line)
         handle.write(offsets_bytes)
         handle.write(values_bytes)
@@ -124,61 +349,224 @@ def write_segment(
         if sync:
             os.fsync(handle.fileno())
     os.replace(tmp, path)
-    return len(_MAGIC) + len(header_line) + len(offsets_bytes) + len(
+    return len(_MAGIC_V1) + len(header_line) + len(offsets_bytes) + len(
         values_bytes
     ) + len(validity_bytes)
 
 
-def read_segment(
-    path: str | os.PathLike, *, mmap: bool = False
-) -> tuple[ColumnVector, list[BlockStats]]:
-    """Load a segment file back into a column plus its block sketches.
+def _parse_stats(header: dict) -> list[BlockStats]:
+    return [
+        BlockStats(int(entry[0]), int(entry[1]), entry[2], entry[3], int(entry[4]))
+        for entry in header["blocks"]
+    ]
 
-    ``mmap=True`` memory-maps the value buffer of fixed-width columns
-    instead of copying it into RAM; STRING columns and validity masks
-    are always materialized (object arrays cannot be mapped).
+
+class SegmentReader:
+    """Random per-block access to one segment file (RSEG1 or RSEG2).
+
+    RSEG2 blocks decode independently: :meth:`decode_block` reads only
+    that block's payload bytes (via ``os.pread`` on a shared handle, or
+    a slice of the memory-mapped payload with ``mmap=True``) and decodes
+    it.  RSEG1 files are materialized eagerly at open (their single
+    buffer cannot be decoded piecemeal) and served by slicing, so both
+    versions present the same block interface to the cache-aware scan
+    path.
     """
-    path = Path(path)
-    with open(path, "rb") as handle:
-        magic = handle.readline()
-        if magic != _MAGIC:
+
+    def __init__(self, path: str | os.PathLike, *, mmap: bool = False):
+        self.path = Path(path)
+        self.mmap = mmap
+        self._handle = open(self.path, "rb")
+        magic = self._handle.readline()
+        if magic == _MAGIC_V2:
+            self.version = 2
+        elif magic == _MAGIC_V1:
+            self.version = 1
+        else:
+            self._handle.close()
             raise StorageError(f"not a segment file: {path}")
         try:
-            header = json.loads(handle.readline().decode("utf-8"))
+            header = json.loads(self._handle.readline().decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._handle.close()
             raise StorageError(f"corrupt segment header: {path}") from exc
-        payload_start = handle.tell()
-        offsets_len = int(header["offsets_len"])
-        values_len = int(header["values_len"])
-        validity_len = int(header["validity_len"])
-        rows = int(header["rows"])
-        dtype = DataType(header["dtype"])
+        self.dtype = DataType(header["dtype"])
+        self.rows = int(header["rows"])
+        self.block_size = int(header["block_size"])
+        self.stats = _parse_stats(header)
+        self._payload_start = self._handle.tell()
+        self._eager: ColumnVector | None = None
+        self._buffer: np.memmap | None = None
+        self._dictionary: np.ndarray | None = None
 
-        offsets_raw = handle.read(offsets_len)
-        if dtype in _FIXED_WIDTH and mmap and values_len:
-            handle.seek(values_len, os.SEEK_CUR)
-            values = np.memmap(
-                path,
-                dtype=numpy_dtype(dtype),
-                mode="r",
-                offset=payload_start + offsets_len,
-                shape=(rows,),
+        if self.version == 1:
+            self.encodings = ["raw"] * len(self.stats)
+            self._blocks: list[tuple[str, int, int]] = []
+            self._eager = _read_v1_payload(
+                self._handle, self.path, header, self._payload_start, mmap
             )
-        else:
-            values_raw = handle.read(values_len)
-            if dtype in _FIXED_WIDTH:
-                values = np.frombuffer(
-                    values_raw, dtype=numpy_dtype(dtype), count=rows
-                ).copy()
-            else:
-                offsets = np.frombuffer(offsets_raw, dtype=np.int64)
-                if len(offsets) != rows + 1:
-                    raise StorageError(f"corrupt segment offsets: {path}")
-                values = np.empty(rows, dtype=object)
-                for position in range(rows):
+            self._handle.close()
+            return
+
+        self.encodings = [str(entry[5]) for entry in header["blocks"]]
+        self._blocks = [
+            (str(entry[5]), int(entry[6]), int(entry[7]))
+            for entry in header["blocks"]
+        ]
+        payload_len = int(header["payload_len"])
+        validity_len = int(header["validity_len"])
+        if mmap and payload_len:
+            self._buffer = np.memmap(
+                self.path,
+                dtype=np.uint8,
+                mode="r",
+                offset=self._payload_start,
+                shape=(payload_len,),
+            )
+        self.validity: np.ndarray | None = None
+        if validity_len:
+            raw = self._read(payload_len - validity_len, validity_len)
+            self.validity = np.unpackbits(
+                np.frombuffer(raw, dtype=np.uint8), count=self.rows
+            ).astype(np.bool_)
+        dict_entry = header.get("dict")
+        if dict_entry is not None:
+            raw = self._read(0, int(dict_entry["bytes"]))
+            count = int(dict_entry["count"])
+            offsets = np.frombuffer(raw, dtype=np.int64, count=count + 1)
+            pool = raw[8 * (count + 1) :]
+            self._dictionary = np.empty(count, dtype=object)
+            for position in range(count):
+                lo, hi = int(offsets[position]), int(offsets[position + 1])
+                self._dictionary[position] = pool[lo:hi].decode("utf-8")
+
+    # -- raw IO ---------------------------------------------------------
+
+    def _read(self, offset: int, length: int) -> bytes:
+        """Fetch *length* payload bytes at payload-relative *offset*."""
+        if self._buffer is not None:
+            return bytes(self._buffer[offset : offset + length])
+        return os.pread(
+            self._handle.fileno(), length, self._payload_start + offset
+        )
+
+    # -- block interface ------------------------------------------------
+
+    @property
+    def block_count(self) -> int:
+        return len(self.stats)
+
+    def block_payload_bytes(self, index: int) -> int:
+        """On-disk (encoded) payload bytes of block *index*."""
+        if self.version == 1:
+            block = self.stats[index]
+            if self.dtype in _FIXED_WIDTH:
+                return numpy_dtype(self.dtype).itemsize * block.row_count
+            return 8 * (block.row_count + 1)  # offsets only, pool unknown
+        return self._blocks[index][2]
+
+    def decode_block(self, index: int) -> ColumnVector:
+        """Decode block *index* into a column vector (validity applied)."""
+        block = self.stats[index]
+        if self._eager is not None:
+            return self._eager.slice(block.start, block.stop)
+        tag, offset, length = self._blocks[index]
+        data = self._read(offset, length)
+        count = block.row_count
+        if tag == "raw":
+            if self.dtype == DataType.STRING:
+                offsets = np.frombuffer(data, dtype=np.int64, count=count + 1)
+                pool = data[8 * (count + 1) :]
+                values = np.empty(count, dtype=object)
+                for position in range(count):
                     lo, hi = int(offsets[position]), int(offsets[position + 1])
-                    values[position] = values_raw[lo:hi].decode("utf-8")
-        validity_raw = handle.read(validity_len)
+                    values[position] = pool[lo:hi].decode("utf-8")
+            else:
+                values = np.frombuffer(
+                    data, dtype=numpy_dtype(self.dtype), count=count
+                )
+        elif tag == "rle":
+            values = decode_block_rle(data, count)
+        elif tag == "for":
+            values = decode_block_for(data, count)
+        elif tag == "pfor":
+            values = decode_block_pfor(data, count)
+        elif tag == "dict":
+            if self._dictionary is None:
+                raise StorageError(
+                    f"dict block without dictionary: {self.path}"
+                )
+            codes = decode_block_codes(data, count)
+            values = self._dictionary[codes]
+        else:
+            raise StorageError(f"unknown block encoding {tag!r}: {self.path}")
+        if self.dtype in _INT_PHYSICAL and values.dtype != np.int64:
+            values = values.astype(np.int64)
+        if len(values) != count:
+            raise StorageError(f"corrupt segment block: {self.path}")
+        validity = (
+            self.validity[block.start : block.stop]
+            if self.version == 2 and self.validity is not None
+            else None
+        )
+        return ColumnVector(self.dtype, values, validity)
+
+    def read_all(self) -> ColumnVector:
+        """Materialize the whole segment as one column vector."""
+        if self._eager is not None:
+            return self._eager
+        if not self.stats:
+            return ColumnVector.empty(self.dtype)
+        return ColumnVector.concat(
+            [self.decode_block(index) for index in range(self.block_count)]
+        )
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _read_v1_payload(
+    handle, path: Path, header: dict, payload_start: int, mmap: bool
+) -> ColumnVector:
+    """Materialize the single-buffer RSEG1 payload (legacy layout)."""
+    offsets_len = int(header["offsets_len"])
+    values_len = int(header["values_len"])
+    validity_len = int(header["validity_len"])
+    rows = int(header["rows"])
+    dtype = DataType(header["dtype"])
+
+    offsets_raw = handle.read(offsets_len)
+    if dtype in _FIXED_WIDTH and mmap and values_len:
+        handle.seek(values_len, os.SEEK_CUR)
+        values = np.memmap(
+            path,
+            dtype=numpy_dtype(dtype),
+            mode="r",
+            offset=payload_start + offsets_len,
+            shape=(rows,),
+        )
+    else:
+        values_raw = handle.read(values_len)
+        if dtype in _FIXED_WIDTH:
+            values = np.frombuffer(
+                values_raw, dtype=numpy_dtype(dtype), count=rows
+            ).copy()
+        else:
+            offsets = np.frombuffer(offsets_raw, dtype=np.int64)
+            if len(offsets) != rows + 1:
+                raise StorageError(f"corrupt segment offsets: {path}")
+            values = np.empty(rows, dtype=object)
+            for position in range(rows):
+                lo, hi = int(offsets[position]), int(offsets[position + 1])
+                values[position] = values_raw[lo:hi].decode("utf-8")
+    validity_raw = handle.read(validity_len)
 
     if len(values) != rows:
         raise StorageError(f"corrupt segment values: {path}")
@@ -187,12 +575,28 @@ def read_segment(
         validity = np.unpackbits(
             np.frombuffer(validity_raw, dtype=np.uint8), count=rows
         ).astype(np.bool_)
+    return ColumnVector(dtype, values, validity)
 
-    column = ColumnVector(dtype, values, validity)
-    stats = [
-        BlockStats(
-            int(start), int(stop), minimum, maximum, int(nulls)
-        )
-        for start, stop, minimum, maximum, nulls in header["blocks"]
-    ]
-    return column, stats
+
+def open_segment(
+    path: str | os.PathLike, *, mmap: bool = False
+) -> SegmentReader:
+    """Open a segment for per-block access (RSEG1 and RSEG2)."""
+    return SegmentReader(path, mmap=mmap)
+
+
+def read_segment(
+    path: str | os.PathLike, *, mmap: bool = False
+) -> tuple[ColumnVector, list[BlockStats]]:
+    """Load a segment file back into a column plus its block sketches.
+
+    Works for both format versions.  ``mmap=True`` memory-maps RSEG1
+    fixed-width value buffers (RSEG2 columns decode per block instead;
+    use :func:`open_segment` for lazy access).
+    """
+    reader = SegmentReader(path, mmap=mmap)
+    try:
+        return reader.read_all(), reader.stats
+    finally:
+        if reader.version == 2:
+            reader.close()

@@ -1,0 +1,303 @@
+"""Block cache tests: LRU mechanics, observability, and staleness.
+
+The cache must be boring in exactly one way: it can never change query
+results.  The mutation fuzz here runs the same operation stream against
+a durable cached database and an in-memory mirror and compares results
+after every step — append, delete, update and checkpoint must all
+invalidate (or bypass) cached blocks correctly, including in worker
+processes that attach the data directory and replay the WAL tail.
+"""
+
+import io
+import random
+import shutil
+import tempfile
+
+import pytest
+
+import repro
+from repro.core.cost_model import CostModel
+from repro.errors import StorageError
+from repro.exec.parallel.procpool import shutdown_process_pool
+from repro.storage.cache import (
+    BlockCache,
+    ENV_CACHE_BYTES,
+    ScanIO,
+    cache_capacity_from_env,
+    vector_nbytes,
+)
+from repro.storage.column import ColumnVector
+from repro.storage.schema import Field, Schema
+from repro.types import DataType
+
+SCHEMA = Schema([Field("k", DataType.INT64), Field("v", DataType.INT64)])
+
+
+def vec(items):
+    return ColumnVector.from_pylist(DataType.INT64, items)
+
+
+class TestBlockCache:
+    def test_hit_miss_counters(self):
+        cache = BlockCache(1024)
+        key = ("t", "p0.k.seg", "k", 0, 7)
+        assert cache.get(key) is None
+        assert cache.put(key, vec([1, 2, 3]))
+        assert cache.get(key).to_pylist() == [1, 2, 3]
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_ratio"] == 0.5
+        assert stats["entries"] == 1
+
+    def test_lru_eviction_order(self):
+        block = vec(list(range(8)))
+        nbytes = vector_nbytes(block)
+        # Four entries fit exactly (and each stays under the 1/4-capacity
+        # per-entry limit); the fifth evicts the least recently used.
+        cache = BlockCache(nbytes * 4)
+        for index in range(4):
+            cache.put(("t", "s", "k", index, 0), block)
+        cache.get(("t", "s", "k", 0, 0))  # touch → most recent
+        cache.put(("t", "s", "k", 4, 0), block)  # evicts block 1
+        assert cache.get(("t", "s", "k", 1, 0)) is None
+        assert cache.get(("t", "s", "k", 0, 0)) is not None
+        assert cache.stats()["evictions"] == 1
+        assert cache.bytes <= cache.capacity_bytes
+
+    def test_oversized_entries_skipped_and_counted(self):
+        cache = BlockCache(1000)  # max entry = 250 bytes
+        big = vec(list(range(200)))  # 1600 bytes of values
+        assert not cache.put(("t", "s", "k", 0, 0), big)
+        assert cache.entry_count == 0
+        assert cache.stats()["skip_count"] == 1
+        small = vec([1])
+        assert cache.put(("t", "s", "k", 1, 0), small)
+        assert cache.entry_count == 1
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = BlockCache(4096)
+        cache.put(("t", "s", "k", 0, 0), vec([1]))
+        cache.get(("t", "s", "k", 0, 0))
+        cache.clear()
+        assert cache.entry_count == 0
+        assert cache.bytes == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_generation_in_key_separates_checkpoints(self):
+        cache = BlockCache(4096)
+        cache.put(("t", "s", "k", 0, 1), vec([1]))
+        assert cache.get(("t", "s", "k", 0, 2)) is None
+
+    def test_string_vector_bytes_counted(self):
+        column = ColumnVector.from_pylist(DataType.STRING, ["abc", "", "xy"])
+        assert vector_nbytes(column) >= 8 * 3 + 5
+
+    def test_scan_io_hit_ratio(self):
+        io_stats = ScanIO(cache_hits=3, cache_misses=1)
+        assert io_stats.hit_ratio == 0.75
+        assert ScanIO().hit_ratio == 0.0
+
+
+class TestCapacityKnobs:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_BYTES, "12345")
+        assert cache_capacity_from_env() == 12345
+
+    def test_env_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_BYTES, "lots")
+        with pytest.raises(StorageError):
+            cache_capacity_from_env()
+
+    def test_cache_bytes_zero_disables(self, tmp_path):
+        db = repro.connect(path=tmp_path / "db", cache_bytes=0, parallelism=1)
+        table = db.create_table("t", SCHEMA)
+        table.insert_rows([[1, 2], [3, 4]])
+        db.sql("CHECKPOINT")
+        assert db.sql("SELECT SUM(v) AS s FROM t").rows() == [(6,)]
+        assert db.cache_stats() is None
+        db.close()
+
+    def test_memory_database_has_no_cache(self):
+        db = repro.connect()
+        assert db.cache_stats() is None
+        db.close()
+
+    def test_cache_requires_durable_path(self):
+        with pytest.raises(StorageError):
+            repro.connect(cache_bytes=1024)
+
+
+class TestCacheMetrics:
+    def test_gauges_exported(self, tmp_path):
+        db = repro.connect(path=tmp_path / "db", parallelism=1)
+        table = db.create_table("t", SCHEMA)
+        table.insert_rows([[i, i * 2] for i in range(100)])
+        db.sql("CHECKPOINT")
+        db.close()
+
+        reopened = repro.connect(path=tmp_path / "db", parallelism=1)
+        reopened.sql("SELECT SUM(v) AS s FROM t")
+        reopened.sql("SELECT SUM(v) AS s FROM t")
+        gauges = reopened.metrics().export()["gauges"]
+        assert gauges["cache.entries"] >= 1
+        assert gauges["cache.bytes"] > 0
+        assert gauges["cache.hit_ratio"] > 0.0
+        assert "storage.t.encoded_ratio" in gauges
+        counters = reopened.metrics().export()["counters"]
+        assert counters["cache.hits"] >= 1
+        assert counters["cache.misses"] >= 1
+        reopened.close()
+
+    def test_profile_reports_cache_counters(self, tmp_path):
+        db = repro.connect(path=tmp_path / "db", parallelism=1)
+        table = db.create_table("t", SCHEMA)
+        table.insert_rows([[i, i] for i in range(200)])
+        db.sql("CHECKPOINT")
+        db.close()
+
+        reopened = repro.connect(path=tmp_path / "db", parallelism=1)
+        cold = reopened.sql("SELECT SUM(v) AS s FROM t", profile=True)
+        scan = cold.profile.find("TableScan")[0]
+        assert scan.details["blocks_decoded"] >= 1
+        assert scan.details["bytes_decoded"] >= scan.details["bytes_read"]
+        warm = reopened.sql("SELECT SUM(v) AS s FROM t", profile=True)
+        scan = warm.profile.find("TableScan")[0]
+        assert scan.details["cache_hits"] >= 1
+        assert scan.details["cache_hit_ratio"] == 1.0
+        reopened.close()
+
+
+def mirror_pair(tmp_path):
+    durable = repro.connect(
+        path=tmp_path / "db", parallelism=1, cache_bytes=1 << 20, sync=False
+    )
+    memory = repro.connect()
+    for db in (durable, memory):
+        table = db.create_table("t", SCHEMA, partition_count=2)
+        table.insert_rows([[i % 7, i] for i in range(64)])
+    return durable, memory
+
+
+QUERY = "SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k ORDER BY k"
+
+
+class TestNeverStale:
+    def test_mutations_after_checkpoint_visible(self, tmp_path):
+        durable, memory = mirror_pair(tmp_path)
+        durable.sql("CHECKPOINT")
+        durable.sql(QUERY)  # populate the cache
+        for db in (durable, memory):
+            db.table("t").insert_rows([[100, 1], [101, None]])
+            db.table("t").delete_rowids([0, 5])
+            db.table("t").update_rowid(10, "v", 9999)
+        assert durable.sql(QUERY).rows() == memory.sql(QUERY).rows()
+        durable.close()
+        memory.close()
+
+    def test_fuzzed_mutation_stream(self, tmp_path):
+        durable, memory = mirror_pair(tmp_path)
+        rng = random.Random(42)
+        next_key = 1000
+        for step in range(60):
+            op = rng.choice(["insert", "delete", "update", "checkpoint"])
+            if op == "insert":
+                rows = [
+                    [next_key + j, rng.randrange(100)]
+                    for j in range(rng.randrange(1, 4))
+                ]
+                next_key += len(rows)
+                for db in (durable, memory):
+                    db.table("t").insert_rows(rows)
+            elif op == "delete":
+                count = durable.table("t").row_count
+                if count:
+                    rowid = rng.randrange(count)
+                    for db in (durable, memory):
+                        db.table("t").delete_rowids([rowid])
+            elif op == "update":
+                count = durable.table("t").row_count
+                if count:
+                    rowid = rng.randrange(count)
+                    value = rng.randrange(10_000)
+                    for db in (durable, memory):
+                        db.table("t").update_rowid(rowid, "v", value)
+            else:
+                durable.sql("CHECKPOINT")
+            assert durable.sql(QUERY).rows() == memory.sql(QUERY).rows(), (
+                f"diverged at step {step} after {op}"
+            )
+        durable.close()
+        memory.close()
+
+    def test_reopen_after_mutations_matches(self, tmp_path):
+        durable, memory = mirror_pair(tmp_path)
+        durable.sql("CHECKPOINT")
+        for db in (durable, memory):
+            db.table("t").insert_rows([[500, 1]])
+        expected = memory.sql(QUERY).rows()
+        durable.close()
+        memory.close()
+
+        reopened = repro.connect(path=tmp_path / "db", parallelism=1)
+        assert reopened.sql(QUERY).rows() == expected
+        assert reopened.sql(QUERY).rows() == expected  # warm pass
+        reopened.close()
+
+
+#: Zeroed fan-out weights so the tiny fixture passes the process gate.
+FORCE = CostModel(
+    parallel_startup_weight=0,
+    morsel_dispatch_weight=0,
+    process_startup_weight=0,
+    process_dispatch_weight=0,
+)
+
+
+class TestProcessWorkers:
+    @pytest.fixture(autouse=True)
+    def _teardown(self):
+        yield
+        shutdown_process_pool()
+
+    def test_worker_replays_tail_after_checkpoint(self, tmp_path):
+        from repro.exec.result import collect
+        from repro.plan.optimizer import Optimizer
+        from repro.plan.physical import PhysicalPlanner
+        from repro.sql.binder import Binder
+        from repro.sql.parser import parse_statement
+
+        db = repro.connect(
+            path=tmp_path / "db", parallelism=2, mmap=True, sync=False
+        )
+        table = db.create_table("t", SCHEMA, partition_count=2, block_size=8)
+        table.insert_rows([[i % 7, i] for i in range(64)])
+        db.sql("CHECKPOINT")
+        db.sql(QUERY)  # warm the coordinator cache pre-mutation
+
+        def run_process(text):
+            statement = parse_statement(text)
+            logical = Binder(db.catalog).bind_select(statement)
+            optimized = Optimizer(db.catalog).optimize(logical)
+            plan = PhysicalPlanner(
+                parallelism=2,
+                morsel_size=16,
+                cost_model=FORCE,
+                backend="process",
+                database=db,
+            ).plan(optimized)
+            return collect(plan)
+
+        # Tail mutations after the checkpoint: workers must attach the
+        # segments AND replay these before serving blocks.
+        table.insert_rows([[100, 1], [101, 2]])
+        table.update_rowid(3, "v", 7777)
+        expected = db.sql(QUERY).rows()
+        assert run_process(QUERY).rows() == expected
+
+        # Mutate again: the snapshot LSN moves, so cached worker tables
+        # for the old snapshot must not leak into the new query.
+        table.insert_rows([[200, 5]])
+        expected = db.sql(QUERY).rows()
+        assert run_process(QUERY).rows() == expected
+        db.close()

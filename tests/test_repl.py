@@ -108,3 +108,34 @@ class TestCheckpoint:
         assert code == 0
         assert "1 segments" in output.getvalue()
         assert (tmp_path / "db" / "manifest.json").exists()
+
+
+class TestCacheCommand:
+    def test_cache_without_cache(self):
+        code, text, __ = drive(["\\cache", "\\q"])
+        assert code == 0
+        assert "(no cache" in text
+
+    def test_cache_on_durable_database(self, tmp_path):
+        database = Database(path=tmp_path / "db")
+        output = io.StringIO()
+        code = run_shell(
+            database,
+            input_stream=iter(
+                [
+                    "CREATE TABLE t (c BIGINT);",
+                    "INSERT INTO t VALUES (1), (2), (3);",
+                    "\\checkpoint",
+                    "SELECT SUM(c) AS s FROM t;",
+                    "SELECT SUM(c) AS s FROM t;",
+                    "\\cache",
+                ]
+            ),
+            output=output,
+        )
+        assert code == 0
+        text = output.getvalue()
+        assert "block cache:" in text
+        assert "hit_ratio=" in text
+        assert "oversized_skips=" in text
+        database.close()

@@ -1,4 +1,4 @@
-"""Unit tests for the columnar segment file format."""
+"""Unit tests for the columnar segment file format (RSEG1 + RSEG2)."""
 
 import datetime
 
@@ -7,15 +7,21 @@ import pytest
 
 from repro.errors import StorageError
 from repro.storage.column import ColumnVector
-from repro.storage.segment import read_segment, write_segment
+from repro.storage.segment import (
+    open_segment,
+    read_segment,
+    write_segment,
+    write_segment_v1,
+)
 from repro.types import DataType
 
 
 def roundtrip(tmp_path, dtype, items, *, mmap=False, block_size=4096):
     column = ColumnVector.from_pylist(dtype, items)
     path = tmp_path / "col.seg"
-    written = write_segment(path, column, block_size, sync=False)
-    assert written == path.stat().st_size
+    info = write_segment(path, column, block_size, sync=False)
+    assert info.bytes_written == path.stat().st_size
+    assert info.rows == len(items)
     loaded, stats = read_segment(path, mmap=mmap)
     assert loaded.dtype == dtype
     assert loaded.to_pylist() == column.to_pylist()
@@ -66,6 +72,123 @@ class TestRoundtrip:
         assert loaded.null_count() == 2
         assert stats[0].minimum is None
 
+    def test_extreme_int64_falls_back_to_raw(self, tmp_path):
+        # The full int64 span overflows zig-zag deltas; the picker must
+        # detect that and keep the block raw rather than corrupt it.
+        roundtrip(tmp_path, DataType.INT64, [-(2**63), 2**63 - 1, 0, -1])
+
+
+class TestEncodingPicker:
+    def write(self, tmp_path, dtype, items, *, block_size=4096, **kwargs):
+        column = ColumnVector.from_pylist(dtype, items)
+        path = tmp_path / "col.seg"
+        info = write_segment(path, column, block_size, sync=False, **kwargs)
+        loaded, __ = read_segment(path)
+        assert loaded.to_pylist() == column.to_pylist()
+        return info, path
+
+    def test_sorted_ints_use_for(self, tmp_path):
+        info, __ = self.write(tmp_path, DataType.INT64, list(range(4096)))
+        assert info.encodings == {"for": 1}
+        assert info.payload_bytes < info.raw_payload_bytes
+        assert info.encoded_ratio < 0.25
+
+    def test_constant_block_uses_rle(self, tmp_path):
+        info, __ = self.write(tmp_path, DataType.INT64, [7] * 1000)
+        assert info.encodings == {"rle": 1}
+        assert info.payload_bytes < 100
+
+    def test_patch_rowids_enable_pfor(self, tmp_path):
+        # Nearly sorted: a handful of out-of-order outliers whose rowids
+        # come from the PatchIndex; pfor stores them verbatim and packs
+        # the kept (sorted) values at the clean-column rate.
+        items = [i * 10 for i in range(4096)]
+        patch_rowids = np.array([100, 2000, 3999], dtype=np.int64)
+        for rowid in patch_rowids:
+            items[rowid] = 10**15 + int(rowid)
+        info, __ = self.write(
+            tmp_path,
+            DataType.INT64,
+            items,
+            patch_rowids=patch_rowids,
+        )
+        assert info.encodings.get("pfor", 0) >= 1
+        assert info.encoded_ratio < 0.25
+
+    def test_low_cardinality_strings_use_dict(self, tmp_path):
+        items = ["alpha", "beta", "gamma"] * 500
+        info, path = self.write(tmp_path, DataType.STRING, items)
+        assert info.encodings == {"dict": 1}
+        reader = open_segment(path)
+        assert reader.encodings == ["dict"]
+        reader.close()
+
+    def test_high_cardinality_strings_stay_raw(self, tmp_path):
+        items = [f"unique-value-{i:08d}" for i in range(500)]
+        info, __ = self.write(tmp_path, DataType.STRING, items)
+        assert info.encodings == {"raw": 1}
+
+    def test_raw_mode_forces_raw(self, tmp_path):
+        info, __ = self.write(
+            tmp_path, DataType.INT64, list(range(1000)), encoding="raw"
+        )
+        assert info.encodings == {"raw": 1}
+        assert info.encoded_ratio == 1.0
+
+    def test_unknown_encoding_mode_rejected(self, tmp_path):
+        column = ColumnVector.from_pylist(DataType.INT64, [1])
+        with pytest.raises(StorageError):
+            write_segment(
+                tmp_path / "col.seg", column, sync=False, encoding="zstd"
+            )
+
+    def test_floats_stay_raw(self, tmp_path):
+        info, __ = self.write(
+            tmp_path, DataType.FLOAT64, [float(i) for i in range(100)]
+        )
+        assert info.encodings == {"raw": 1}
+
+
+class TestBlockReader:
+    def test_decode_block_matches_slice(self, tmp_path):
+        items = list(range(100)) + [None, 5, 5, 5] + list(range(28))
+        column = ColumnVector.from_pylist(DataType.INT64, items)
+        path = tmp_path / "col.seg"
+        write_segment(path, column, block_size=16, sync=False)
+        reader = open_segment(path)
+        assert reader.version == 2
+        for index, block in enumerate(reader.stats):
+            decoded = reader.decode_block(index)
+            expected = column.slice(block.start, block.stop)
+            assert decoded.to_pylist() == expected.to_pylist()
+        reader.close()
+
+    def test_block_payload_bytes_sum_to_payload(self, tmp_path):
+        column = ColumnVector.from_pylist(DataType.INT64, list(range(64)))
+        path = tmp_path / "col.seg"
+        info = write_segment(path, column, block_size=16, sync=False)
+        reader = open_segment(path)
+        total = sum(
+            reader.block_payload_bytes(i) for i in range(reader.block_count)
+        )
+        assert total == info.payload_bytes
+        reader.close()
+
+    def test_mmap_reader_decodes_identically(self, tmp_path):
+        items = [i // 3 for i in range(200)]
+        column = ColumnVector.from_pylist(DataType.INT64, items)
+        path = tmp_path / "col.seg"
+        write_segment(path, column, block_size=32, sync=False)
+        eager = open_segment(path, mmap=False)
+        mapped = open_segment(path, mmap=True)
+        for index in range(eager.block_count):
+            np.testing.assert_array_equal(
+                eager.decode_block(index).values,
+                mapped.decode_block(index).values,
+            )
+        eager.close()
+        mapped.close()
+
 
 class TestBlockStats:
     def test_stats_match_recomputation(self, tmp_path):
@@ -92,13 +215,55 @@ class TestMmap:
     def test_mmap_matches_eager(self, tmp_path):
         eager, __ = roundtrip(tmp_path, DataType.INT64, [3, 1, 2], mmap=False)
         mapped, __ = roundtrip(tmp_path, DataType.INT64, [3, 1, 2], mmap=True)
-        assert isinstance(mapped.values, np.memmap)
-        assert not mapped.values.flags.writeable
-        np.testing.assert_array_equal(np.asarray(mapped.values), eager.values)
+        np.testing.assert_array_equal(
+            np.asarray(mapped.values), np.asarray(eager.values)
+        )
 
     def test_mmap_strings_fall_back_to_materialized(self, tmp_path):
         loaded, __ = roundtrip(tmp_path, DataType.STRING, ["a", "b"], mmap=True)
         assert not isinstance(loaded.values, np.memmap)
+
+
+class TestLegacyV1:
+    def roundtrip_v1(self, tmp_path, dtype, items, *, mmap=False):
+        column = ColumnVector.from_pylist(dtype, items)
+        path = tmp_path / "col.seg"
+        written = write_segment_v1(path, column, sync=False)
+        assert written == path.stat().st_size
+        assert path.read_bytes().startswith(b"RSEG1\n")
+        loaded, stats = read_segment(path, mmap=mmap)
+        assert loaded.to_pylist() == column.to_pylist()
+        return loaded, stats
+
+    def test_v1_int_roundtrip(self, tmp_path):
+        self.roundtrip_v1(tmp_path, DataType.INT64, [1, -5, 2**40, 0])
+
+    def test_v1_string_nulls(self, tmp_path):
+        loaded, __ = self.roundtrip_v1(
+            tmp_path, DataType.STRING, ["", None, "x"]
+        )
+        assert loaded.to_pylist() == ["", None, "x"]
+
+    def test_v1_mmap_zero_copy(self, tmp_path):
+        # The legacy fixed-width buffer memory-maps directly — the one
+        # zero-copy path RSEG2's per-block decode intentionally gave up.
+        mapped, __ = self.roundtrip_v1(
+            tmp_path, DataType.INT64, [3, 1, 2], mmap=True
+        )
+        assert isinstance(mapped.values, np.memmap)
+        assert not mapped.values.flags.writeable
+
+    def test_v1_block_reader_interface(self, tmp_path):
+        column = ColumnVector.from_pylist(DataType.INT64, list(range(64)))
+        path = tmp_path / "col.seg"
+        write_segment_v1(path, column, block_size=16, sync=False)
+        reader = open_segment(path)
+        assert reader.version == 1
+        assert reader.encodings == ["raw"] * 4
+        decoded = reader.decode_block(2)
+        assert decoded.to_pylist() == list(range(32, 48))
+        assert reader.block_payload_bytes(0) == 16 * 8
+        reader.close()
 
 
 class TestCorruption:
@@ -114,13 +279,31 @@ class TestCorruption:
         with pytest.raises(StorageError):
             read_segment(path)
 
+    def test_corrupt_v2_header(self, tmp_path):
+        path = tmp_path / "col.seg"
+        path.write_bytes(b"RSEG2\nnot-json\n")
+        with pytest.raises(StorageError):
+            read_segment(path)
+
     def test_truncated_values(self, tmp_path):
+        column = ColumnVector.from_pylist(DataType.INT64, [1, 2, 3])
+        path = tmp_path / "col.seg"
+        write_segment(path, column, sync=False, encoding="raw")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])
+        with pytest.raises((StorageError, ValueError)):
+            read_segment(path)
+
+    def test_unknown_block_encoding(self, tmp_path):
         column = ColumnVector.from_pylist(DataType.INT64, [1, 2, 3])
         path = tmp_path / "col.seg"
         write_segment(path, column, sync=False)
         raw = path.read_bytes()
-        path.write_bytes(raw[:-10])
-        with pytest.raises((StorageError, ValueError)):
+        head, sep, tail = raw.partition(b'"for"')
+        if not sep:
+            head, sep, tail = raw.partition(b'"raw"')
+        path.write_bytes(head + b'"xxx"' + tail)
+        with pytest.raises(StorageError):
             read_segment(path)
 
     def test_no_tmp_file_left_behind(self, tmp_path):

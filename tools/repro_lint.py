@@ -56,6 +56,12 @@ L7  no-stale-markers
     No ``TODO`` / ``FIXME`` / ``XXX`` / ``HACK`` comments in source;
     open work belongs in ROADMAP.md "Open items", not in drive-by
     markers that rot.
+
+L8  no-raw-segment-decode
+    ``np.frombuffer`` on segment payload bytes is allowed only inside
+    the storage codec layer ({frombuffer_files}) — everything else must
+    go through ``SegmentReader`` / the block cache, so the RSEG wire
+    formats stay changeable in one place.
 """
 
 from __future__ import annotations
@@ -73,6 +79,7 @@ METRIC_NAMESPACES = (
     "checkpoint",
     "recovery",
     "storage",
+    "cache",
     "query",
     "statements",
     "patchselect",
@@ -81,7 +88,21 @@ METRIC_NAMESPACES = (
     "maintenance",
 )
 
-__doc__ = __doc__.format(namespaces=", ".join(METRIC_NAMESPACES))
+#: Source files allowed to call ``np.frombuffer`` (L8): the two codec
+#: modules that own the RSEG wire formats, plus the parallel transport
+#: (shm result frames and shipped patch-rowid blobs are its own wire
+#: format, not segment payloads).
+FROMBUFFER_ALLOWED_FILES = (
+    "storage/segment.py",
+    "core/compression.py",
+    "exec/parallel/shm.py",
+    "exec/parallel/worker.py",
+)
+
+__doc__ = __doc__.format(
+    namespaces=", ".join(METRIC_NAMESPACES),
+    frombuffer_files=", ".join(FROMBUFFER_ALLOWED_FILES),
+)
 
 #: Directories whose classes are touched by concurrent workers (L2).
 LOCK_CHECKED_DIRS = ("exec/parallel", "obs")
@@ -607,6 +628,34 @@ def check_stale_markers(path: Path) -> list[Finding]:
     return findings
 
 
+# -- L8 ------------------------------------------------------------------------
+
+
+def check_raw_segment_decode(path: Path, tree: ast.AST) -> list[Finding]:
+    if posix(path).endswith(FROMBUFFER_ALLOWED_FILES):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "frombuffer"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in ("np", "numpy")
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "L8",
+                    "np.frombuffer outside the storage codec layer; "
+                    "decode segment payloads through SegmentReader / "
+                    "the block cache instead",
+                )
+            )
+    return findings
+
+
 # -- driver --------------------------------------------------------------------
 
 
@@ -623,6 +672,7 @@ def lint_file(path: Path) -> list[Finding]:
     findings.extend(check_fsync_discipline(path, tree, source.splitlines()))
     findings.extend(check_metric_namespaces(path, tree))
     findings.extend(check_explicit_dtype(path, tree))
+    findings.extend(check_raw_segment_decode(path, tree))
     findings.extend(check_stale_markers(path))
     return findings
 
