@@ -16,7 +16,6 @@ Run:  python examples/self_managing_warehouse.py
 import tempfile
 from pathlib import Path
 
-import repro
 from repro import Database
 from repro.bench.harness import measure
 from repro.core.advisor import ConstraintAdvisor
@@ -28,7 +27,7 @@ CUSTOMER_ROWS = 40_000
 SEED = 99
 
 wal_path = Path(tempfile.mkdtemp()) / "warehouse.wal"
-db = repro.connect(wal_path)
+db = Database(wal_path)
 load_tpcds(
     db,
     catalog_sales_rows=SALES_ROWS,

@@ -32,6 +32,8 @@ from repro.errors import (
     PlanError,
     PlanInvariantError,
     SqlError,
+    ProtocolError,
+    ConnectionClosedError,
 )
 from repro.types import DataType
 from repro.storage import (
@@ -62,8 +64,13 @@ from repro.obs import CardinalityFeedback, MetricsRegistry, QueryProfile
 __version__ = "1.0.0"
 
 
+#: WAL-file suffixes the legacy ``connect(wal_path)`` positional used;
+#: part of the deprecation heuristic below.
+_LEGACY_WAL_SUFFIXES = (".wal", ".jsonl", ".log")
+
+
 def connect(
-    wal_path: "str | _os.PathLike | None" = None,
+    target: "str | _os.PathLike | None" = None,
     *,
     path: "str | _os.PathLike | None" = None,
     parallelism: int | None = None,
@@ -71,27 +78,74 @@ def connect(
     sync: bool = True,
     cache_bytes: int | None = None,
     encoding: str = "auto",
-) -> Database:
-    """Open a database instance — the canonical entry point.
+    timeout: float | None = None,
+):
+    """Open a database — local or remote — from one *target*.
 
-    *path* opens (or creates) a **durable** database directory: row data
-    is WAL-logged, ``CHECKPOINT`` flushes columnar segment files, and
-    ``repro.connect(path=...)`` on the same directory recovers tables
-    and rebuilds PatchIndexes from data (paper §V).  ``mmap=True``
-    memory-maps checkpointed segment payloads instead of loading them
-    eagerly.  *cache_bytes* bounds the shared decoded-block cache
-    (default ``REPRO_CACHE_BYTES``, else 64 MiB; ``0`` disables it) and
-    *encoding* selects the checkpoint segment encoding (``"auto"`` =
-    cost-based per-block picker, ``"raw"`` = uncompressed).
+    The single positional selects the mode:
 
-    *wal_path* is the historical metadata-only WAL mode
-    (``Database.recover`` replays it with user-supplied data loaders);
-    *parallelism* sets the instance-default degree of parallelism
-    (``None`` resolves ``REPRO_THREADS`` / the CPU count, ``1`` forces
-    serial execution).
+    - ``repro.connect()`` — a fresh **in-memory** database;
+    - ``repro.connect("/data/dir")`` — a **durable** database directory
+      (created if missing): row data is WAL-logged, ``CHECKPOINT``
+      flushes columnar segment files, and reconnecting to the same
+      directory recovers tables and rebuilds PatchIndexes from data
+      (paper §V);
+    - ``repro.connect("repro://host:port")`` — a **network client**
+      (:class:`repro.serve.ServerClient`) speaking to a running
+      ``python -m repro serve`` instance; it mirrors the ``Database``
+      query surface, and *timeout* bounds the socket connect/replies.
+
+    Durable knobs: ``mmap=True`` memory-maps checkpointed segment
+    payloads instead of loading them eagerly; *cache_bytes* bounds the
+    shared decoded-block cache (default ``REPRO_CACHE_BYTES``, else
+    64 MiB; ``0`` disables it); *encoding* selects the checkpoint
+    segment encoding (``"auto"`` = cost-based per-block picker,
+    ``"raw"`` = uncompressed); ``sync=False`` skips fsync (benchmarks
+    only).  *parallelism* sets the instance-default degree of
+    parallelism (``None`` resolves ``REPRO_THREADS`` / the CPU count,
+    ``1`` forces serial execution); for a remote target it is applied
+    to the server-side session.
+
+    .. deprecated:: 1.1
+        Passing a metadata-only WAL *file* path positionally
+        (``connect("x.wal")``) is deprecated; construct
+        ``Database(wal_path)`` directly for that mode.  The positional
+        now means a durable directory (or a ``repro://`` URI).
     """
+    if target is not None and path is not None:
+        raise ReproError(
+            "pass either a connect target positionally or path=, not both"
+        )
+    if target is not None:
+        text = _os.fspath(target) if not isinstance(target, str) else target
+        if text.startswith("repro://"):
+            if mmap or not sync or cache_bytes is not None or encoding != "auto":
+                raise ReproError(
+                    "mmap/sync/cache_bytes/encoding are storage knobs of "
+                    "the server's database, not the client"
+                )
+            from repro.serve import ServerClient
+
+            client = ServerClient.from_uri(text, timeout=timeout)
+            if parallelism is not None:
+                client.parallelism = parallelism
+            return client
+        looks_like_wal_file = _os.path.isfile(text) or text.endswith(
+            _LEGACY_WAL_SUFFIXES
+        )
+        if looks_like_wal_file:
+            import warnings
+
+            warnings.warn(
+                "connect(<wal file>) is deprecated: the positional now "
+                "names a durable directory or repro:// URI; use "
+                "Database(wal_path) for a metadata-only WAL file",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return Database(target, parallelism=parallelism)
+        path = target
     return Database(
-        wal_path,
         path=path,
         parallelism=parallelism,
         mmap=mmap,
@@ -113,6 +167,8 @@ __all__ = [
     "PlanError",
     "PlanInvariantError",
     "SqlError",
+    "ProtocolError",
+    "ConnectionClosedError",
     "DataType",
     "Field",
     "Schema",

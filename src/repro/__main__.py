@@ -1,9 +1,13 @@
-r"""Interactive SQL shell:
-``python -m repro [--threads N] [--metrics-dump PATH] [--data-dir DIR]
-[wal-path]``.
+r"""Interactive SQL shell and network server.
 
-A minimal REPL over :class:`repro.storage.database.Database` — enough
-to poke at PatchIndexes interactively:
+``python -m repro [--threads N] [--metrics-dump PATH] [--data-dir DIR]
+[wal-path]`` starts the REPL over a local
+:class:`repro.storage.database.Database`;
+``python -m repro --connect repro://host:port`` runs the same REPL
+against a remote server; ``python -m repro serve --data-dir DIR
+[--host H] [--port P]`` starts the server itself.
+
+A minimal REPL — enough to poke at PatchIndexes interactively:
 
     $ python -m repro
     repro> CREATE TABLE t (c BIGINT);
@@ -27,6 +31,11 @@ the morsel-parallel worker count; ``--threads 1`` forces serial plans.
 data survives restarts, ``CHECKPOINT`` / ``\checkpoint`` flushes
 segment files, and reopening the same directory recovers tables and
 rebuilds PatchIndexes from data.
+
+The REPL drives remote databases through the same commands — a
+:class:`repro.serve.ServerClient` mirrors the ``Database`` surface the
+shell uses, so ``\d``, ``\metrics``, ``\checkpoint`` and friends work
+identically over the wire.
 """
 
 from __future__ import annotations
@@ -156,11 +165,45 @@ def run_shell(
             emit(f"error: {error}")
 
 
+def run_server(
+    data_dir: str | None,
+    host: str,
+    port: int,
+    threads: int | None,
+) -> int:
+    """Run ``python -m repro serve`` until interrupted."""
+    import asyncio
+
+    from repro.serve import ReproServer
+
+    database = Database(path=data_dir, parallelism=threads)
+    server = ReproServer(database, host=host, port=port)
+
+    async def serve() -> None:
+        await server.start()
+        storage = data_dir if data_dir is not None else "(in-memory)"
+        print(
+            f"repro server listening on repro://{server.host}:{server.port} "
+            f"— storage {storage}; ctrl-c stops",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     threads: int | None = None
     metrics_dump: str | None = None
     data_dir: str | None = None
+    connect_uri: str | None = None
+    host = "127.0.0.1"
+    port: int | None = None
     positional: list[str] = []
     position = 0
     while position < len(argv):
@@ -196,6 +239,55 @@ def main(argv: list[str] | None = None) -> int:
             data_dir = argument.split("=", 1)[1]
             position += 1
             continue
+        elif argument == "--connect":
+            if position + 1 >= len(argv):
+                print("error: --connect requires a URI", file=sys.stderr)
+                return 2
+            connect_uri = argv[position + 1]
+            position += 2
+            continue
+        elif argument.startswith("--connect="):
+            connect_uri = argument.split("=", 1)[1]
+            position += 1
+            continue
+        elif argument == "--host":
+            if position + 1 >= len(argv):
+                print("error: --host requires a value", file=sys.stderr)
+                return 2
+            host = argv[position + 1]
+            position += 2
+            continue
+        elif argument.startswith("--host="):
+            host = argument.split("=", 1)[1]
+            position += 1
+            continue
+        elif argument == "--port":
+            if position + 1 >= len(argv):
+                print("error: --port requires a value", file=sys.stderr)
+                return 2
+            value = argv[position + 1]
+            position += 2
+            try:
+                port = int(value)
+            except ValueError:
+                print(
+                    f"error: --port expects an integer, got {value!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            continue
+        elif argument.startswith("--port="):
+            value = argument.split("=", 1)[1]
+            position += 1
+            try:
+                port = int(value)
+            except ValueError:
+                print(
+                    f"error: --port expects an integer, got {value!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            continue
         else:
             positional.append(argument)
             position += 1
@@ -205,14 +297,43 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError:
             print(f"error: --threads expects an integer, got {value!r}", file=sys.stderr)
             return 2
-    wal_path = positional[0] if positional else None
-    if data_dir is not None and wal_path is not None:
-        print(
-            "error: pass either --data-dir or a wal path, not both",
-            file=sys.stderr,
+    if positional and positional[0] == "serve":
+        if len(positional) > 1:
+            print(
+                f"error: serve takes no positional arguments, got "
+                f"{positional[1:]!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if connect_uri is not None:
+            print("error: serve and --connect are exclusive", file=sys.stderr)
+            return 2
+        from repro.serve.protocol import DEFAULT_PORT
+
+        return run_server(
+            data_dir, host, port if port is not None else DEFAULT_PORT, threads
         )
-        return 2
-    database = Database(wal_path, path=data_dir, parallelism=threads)
+    wal_path = positional[0] if positional else None
+    if connect_uri is not None:
+        if wal_path is not None or data_dir is not None:
+            print(
+                "error: --connect is exclusive with local storage options",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.serve import ServerClient
+
+        database = ServerClient.from_uri(connect_uri)
+        if threads is not None:
+            database.parallelism = threads
+    else:
+        if data_dir is not None and wal_path is not None:
+            print(
+                "error: pass either --data-dir or a wal path, not both",
+                file=sys.stderr,
+            )
+            return 2
+        database = Database(wal_path, path=data_dir, parallelism=threads)
     code = run_shell(database)
     if metrics_dump is not None:
         try:
@@ -222,6 +343,8 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as error:
             print(f"error: cannot write metrics to {metrics_dump!r}: {error}", file=sys.stderr)
             return 2
+    if connect_uri is not None:
+        database.close()
     return code
 
 

@@ -87,3 +87,15 @@ class BindError(SqlError):
 
 class WalError(ReproError):
     """The write-ahead log is corrupt or cannot be replayed."""
+
+
+class ProtocolError(ReproError):
+    """A client/server wire frame is malformed or violates the protocol.
+
+    Raised on oversized or truncated frames, payloads that are not a
+    JSON object, and requests without a recognised ``op``.
+    """
+
+
+class ConnectionClosedError(ReproError):
+    """The server connection closed before (or while) a reply arrived."""

@@ -18,16 +18,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class QueryResult:
-    """A fully materialized result set with named, typed columns."""
+    """A fully materialized result set with named, typed columns.
+
+    This is the stable result surface for *both* local and remote
+    callers: :meth:`repro.storage.database.Database.sql`,
+    :meth:`repro.sql.session.Session.sql` and the network clients in
+    :mod:`repro.serve` all return it.  Besides the columnar accessors
+    (:meth:`column`, :meth:`to_pydict`) it carries a DB-API-flavoured
+    cursor surface — iteration yields row tuples, :meth:`fetchone` /
+    :meth:`fetchmany` / :meth:`fetchall` consume them incrementally,
+    :attr:`rowcount` mirrors the DB-API attribute, and ``result[name]``
+    gives column access by name.
+    """
 
     #: The :class:`~repro.obs.profile.QueryProfile` of the execution when
     #: the statement ran with ``profile=True`` (EXPLAIN ANALYZE or
-    #: ``Database.sql(..., profile=True)``); ``None`` otherwise.
+    #: ``Database.sql(..., profile=True)``); ``None`` otherwise.  Remote
+    #: results carry a render-only stand-in with the same ``to_text()``.
     profile = None
 
     def __init__(self, schema: Schema, columns: dict[str, ColumnVector]):
         self.schema = schema
         self.columns = columns
+        #: Cursor position for fetchone()/fetchmany() (DB-API surface).
+        self._cursor = 0
+        self._rows: list[tuple[object, ...]] | None = None
 
     @classmethod
     def empty(cls, schema: Schema | None = None) -> "QueryResult":
@@ -73,6 +88,23 @@ class QueryResult:
     def column(self, name: str) -> ColumnVector:
         return self.columns[name]
 
+    def __getitem__(self, name: str) -> ColumnVector:
+        """Column access by name: ``result["total"]``."""
+        if not isinstance(name, str):
+            raise TypeError(
+                f"QueryResult columns are addressed by name, got "
+                f"{type(name).__name__}"
+            )
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; columns are {list(self.column_names)}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.columns
+
     def to_pydict(self) -> dict[str, list[object]]:
         return {
             field.name: self.columns[field.name].to_pylist()
@@ -85,6 +117,43 @@ class QueryResult:
             self.columns[field.name].to_pylist() for field in self.schema
         ]
         return list(zip(*materialized)) if materialized else []
+
+    # -- DB-API-flavoured cursor surface -----------------------------------
+
+    @property
+    def rowcount(self) -> int:
+        """Number of rows in the result (DB-API spelling)."""
+        return self.row_count
+
+    def _materialized_rows(self) -> list[tuple[object, ...]]:
+        if self._rows is None:
+            self._rows = self.to_pylist()
+        return self._rows
+
+    def fetchone(self) -> tuple[object, ...] | None:
+        """The next row tuple, or ``None`` when the cursor is exhausted."""
+        rows = self._materialized_rows()
+        if self._cursor >= len(rows):
+            return None
+        row = rows[self._cursor]
+        self._cursor += 1
+        return row
+
+    def fetchmany(self, size: int = 1) -> list[tuple[object, ...]]:
+        """Up to *size* next row tuples (empty list when exhausted)."""
+        if size < 0:
+            raise ValueError(f"fetchmany size must be >= 0, got {size}")
+        rows = self._materialized_rows()
+        chunk = rows[self._cursor : self._cursor + size]
+        self._cursor += len(chunk)
+        return chunk
+
+    def fetchall(self) -> list[tuple[object, ...]]:
+        """All remaining row tuples from the cursor position on."""
+        rows = self._materialized_rows()
+        chunk = rows[self._cursor :]
+        self._cursor = len(rows)
+        return chunk
 
     def rows(self) -> list[tuple[object, ...]]:
         """Alias of :meth:`to_pylist`: rows as tuples, in result order."""

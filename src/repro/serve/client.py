@@ -1,0 +1,365 @@
+"""Clients for the repro wire protocol.
+
+Two flavours over the same frames:
+
+- :class:`ServerClient` — synchronous, built on a plain socket.  This
+  is what ``repro.connect("repro://host:port")`` returns; it mirrors
+  the :class:`~repro.storage.database.Database` surface the REPL and
+  examples use (``sql`` / ``explain`` / ``describe`` / ``metrics`` /
+  ``cache_stats`` / ``checkpoint`` / ``parallelism``), so remote and
+  local handles are interchangeable for read/write workloads.
+- :class:`AsyncReproClient` — the asyncio twin for callers already
+  inside an event loop (the benchmark's concurrent clients).
+
+Both return full :class:`~repro.exec.result.QueryResult` objects
+rebuilt from the wire (same physical scalars, DB-API cursor surface
+included) and re-raise server errors as their original
+:mod:`repro.errors` types.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+from repro.errors import ConnectionClosedError, ProtocolError
+from repro.exec.result import QueryResult
+from repro.serve.protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME_BYTES,
+    check_response,
+    decode_body,
+    encode_frame,
+    read_frame,
+    result_from_wire,
+)
+
+_LENGTH = struct.Struct(">I")
+
+
+def parse_uri(uri: str) -> tuple[str, int]:
+    """Split ``repro://host[:port]`` into (host, port)."""
+    prefix = "repro://"
+    if not uri.startswith(prefix):
+        raise ProtocolError(f"not a repro:// URI: {uri!r}")
+    authority = uri[len(prefix):].rstrip("/")
+    if not authority:
+        raise ProtocolError(f"URI {uri!r} is missing a host")
+    host, _, port_text = authority.rpartition(":")
+    if not host:
+        return authority, DEFAULT_PORT
+    try:
+        return host, int(port_text)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"invalid port {port_text!r} in URI {uri!r}"
+        ) from exc
+
+
+class RemoteMetrics:
+    """Rendered metrics of a remote database (text + JSON forms)."""
+
+    def __init__(self, text: str, json_text: str):
+        self._text = text
+        self._json = json_text
+
+    def to_text(self) -> str:
+        return self._text
+
+    def to_json(self, indent: int | None = 2) -> str:
+        del indent  # rendered server-side
+        return self._json
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteMetrics({len(self._text)} chars)"
+
+
+class ServerClient:
+    """A synchronous connection to a :class:`~repro.serve.ReproServer`.
+
+    One request/response in flight at a time (a lock serializes
+    callers); the server interleaves *across* connections, not within
+    one.  Use one client per thread for concurrency.
+    """
+
+    def __init__(self, host: str, port: int = DEFAULT_PORT, *, timeout: float | None = None):
+        self.host = host
+        self.port = port
+        self._lock = threading.Lock()
+        self._closed = False
+        self._parallelism: int | None = None
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self.server_info = check_response(self._request({"op": "hello"}))
+
+    @classmethod
+    def from_uri(cls, uri: str, *, timeout: float | None = None) -> "ServerClient":
+        host, port = parse_uri(uri)
+        return cls(host, port, timeout=timeout)
+
+    # -- framing ------------------------------------------------------------
+
+    def _request(self, payload: dict) -> dict | None:
+        with self._lock:
+            if self._closed:
+                raise ConnectionClosedError("client is closed")
+            try:
+                self._socket.sendall(encode_frame(payload))
+                return self._read_frame()
+            except (OSError, ConnectionClosedError):
+                self._teardown()
+                raise ConnectionClosedError(
+                    f"connection to {self.host}:{self.port} lost"
+                ) from None
+
+    def _read_frame(self) -> dict | None:
+        prefix = self._read_exactly(_LENGTH.size)
+        if prefix is None:
+            return None
+        (length,) = _LENGTH.unpack(prefix)
+        if length == 0 or length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame length {length} outside (0, {MAX_FRAME_BYTES}]"
+            )
+        body = self._read_exactly(length)
+        if body is None:
+            raise ConnectionClosedError(
+                "server closed the connection inside a frame"
+            )
+        return decode_body(body)
+
+    def _read_exactly(self, count: int) -> bytes | None:
+        chunks: list[bytes] = []
+        remaining = count
+        while remaining > 0:
+            chunk = self._socket.recv(remaining)
+            if not chunk:
+                if chunks:
+                    raise ConnectionClosedError(
+                        "server closed the connection inside a frame"
+                    )
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _call(self, payload: dict) -> dict:
+        return check_response(self._request(payload))
+
+    # -- the Database-shaped surface ----------------------------------------
+
+    def sql(
+        self,
+        text: str,
+        *,
+        parallelism: int | None = None,
+        backend: str | None = None,
+        profile: bool = False,
+        optimizer_options=None,
+    ) -> QueryResult:
+        """Execute one statement on the server; returns a QueryResult."""
+        if optimizer_options is not None:
+            raise ProtocolError(
+                "optimizer_options do not travel over the wire; set "
+                "planner behaviour server-side"
+            )
+        del backend  # backend is a server-side session knob; see set()
+        response = self._call(
+            {
+                "op": "sql",
+                "text": text,
+                "parallelism": parallelism,
+                "profile": profile,
+            }
+        )
+        return result_from_wire(response["result"])
+
+    def explain(
+        self,
+        text: str,
+        *,
+        parallelism: int | None = None,
+        backend: str | None = None,
+        analyze: bool = False,
+        optimizer_options=None,
+    ) -> str:
+        if optimizer_options is not None:
+            raise ProtocolError(
+                "optimizer_options do not travel over the wire; set "
+                "planner behaviour server-side"
+            )
+        del backend
+        response = self._call(
+            {
+                "op": "explain",
+                "text": text,
+                "parallelism": parallelism,
+                "analyze": analyze,
+            }
+        )
+        return response["text"]
+
+    def set(self, knob: str, value) -> object:
+        """Set a server-side session knob; returns the applied value."""
+        response = self._call({"op": "set", "knob": knob, "value": value})
+        return response["value"]
+
+    @property
+    def parallelism(self) -> int | None:
+        """Per-session degree of parallelism (mirrors Database.parallelism)."""
+        return self._parallelism
+
+    @parallelism.setter
+    def parallelism(self, value: int | None) -> None:
+        self._parallelism = self.set("parallelism", value)
+
+    def describe(self) -> str:
+        return self._call({"op": "describe"})["text"]
+
+    def metrics(self, *, refresh: bool = True) -> RemoteMetrics:
+        del refresh  # the server always refreshes before rendering
+        response = self._call({"op": "metrics"})
+        return RemoteMetrics(response["text"], response["json"])
+
+    def cache_stats(self) -> dict | None:
+        return self._call({"op": "cache_stats"})["stats"]
+
+    def checkpoint(self) -> dict:
+        return self._call({"op": "checkpoint"})["result"]
+
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("ok"))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Say goodbye and close the socket (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                self._socket.sendall(encode_frame({"op": "close"}))
+                self._read_frame()
+            except OSError:
+                pass
+            self._teardown()
+
+    def _teardown(self) -> None:
+        self._closed = True
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"ServerClient({self.host}:{self.port}, {state})"
+
+
+class AsyncReproClient:
+    """The asyncio twin of :class:`ServerClient`.
+
+    Create with :meth:`connect`; one request/response in flight per
+    client (an asyncio lock serializes), so concurrency means many
+    clients — exactly how the server bench drives load.
+    """
+
+    def __init__(self, reader, writer):
+        import asyncio
+
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        self._closed = False
+        self.server_info: dict | None = None
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int = DEFAULT_PORT
+    ) -> "AsyncReproClient":
+        import asyncio
+
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer)
+        client.server_info = await client._call({"op": "hello"})
+        return client
+
+    async def _call(self, payload: dict) -> dict:
+        async with self._lock:
+            if self._closed:
+                raise ConnectionClosedError("client is closed")
+            self._writer.write(encode_frame(payload))
+            await self._writer.drain()
+            return check_response(await read_frame(self._reader))
+
+    async def sql(
+        self,
+        text: str,
+        *,
+        parallelism: int | None = None,
+        profile: bool = False,
+    ) -> QueryResult:
+        response = await self._call(
+            {
+                "op": "sql",
+                "text": text,
+                "parallelism": parallelism,
+                "profile": profile,
+            }
+        )
+        return result_from_wire(response["result"])
+
+    async def explain(
+        self,
+        text: str,
+        *,
+        parallelism: int | None = None,
+        analyze: bool = False,
+    ) -> str:
+        response = await self._call(
+            {
+                "op": "explain",
+                "text": text,
+                "parallelism": parallelism,
+                "analyze": analyze,
+            }
+        )
+        return response["text"]
+
+    async def set(self, knob: str, value) -> object:
+        response = await self._call(
+            {"op": "set", "knob": knob, "value": value}
+        )
+        return response["value"]
+
+    async def ping(self) -> bool:
+        return bool((await self._call({"op": "ping"})).get("ok"))
+
+    async def checkpoint(self) -> dict:
+        return (await self._call({"op": "checkpoint"}))["result"]
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            await self._call({"op": "close"})
+        except (ConnectionClosedError, OSError):
+            pass
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "AsyncReproClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,225 @@
+"""Length-prefixed JSON wire protocol shared by server and clients.
+
+A connection is a stream of *frames*.  Each frame is a 4-byte
+big-endian unsigned length followed by exactly that many bytes of
+UTF-8 JSON encoding one object::
+
+    +--------------+----------------------------+
+    | length (>I)  | {"op": "sql", "text": ...} |
+    +--------------+----------------------------+
+
+Requests carry an ``op`` (see :data:`OPS`); responses either carry the
+op's payload (``{"result": ...}``, ``{"text": ...}``, …) or an
+``{"error": {"type", "message"}}`` object, where ``type`` is the
+:mod:`repro.errors` class name so clients re-raise the same typed
+exception they would have seen locally.
+
+Query results travel as their *physical* scalar representation — the
+same ``column_to_jsonable`` / ``column_from_jsonable`` pair the WAL
+uses for data records — so a remote
+:class:`~repro.exec.result.QueryResult` round-trips bit-identically
+through :func:`result_to_wire` / :func:`result_from_wire`.
+
+Frames above :data:`MAX_FRAME_BYTES` are rejected with a
+:class:`~repro.errors.ProtocolError` before any allocation: the limit
+bounds a malicious or corrupt length prefix, not legitimate results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.errors import ConnectionClosedError, ProtocolError, ReproError
+
+#: Default TCP port of ``python -m repro serve`` ("RP" on a phone pad).
+DEFAULT_PORT = 7376
+
+#: Upper bound on one frame's payload (64 MiB).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Request operations the server understands.
+OPS = (
+    "hello",
+    "ping",
+    "sql",
+    "explain",
+    "set",
+    "describe",
+    "metrics",
+    "cache_stats",
+    "checkpoint",
+    "close",
+)
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One wire frame: length prefix + compact JSON."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse one frame body; raises ProtocolError on garbage."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF *inside* a frame (a truncated prefix or body) raises
+    :class:`ProtocolError` — the peer died mid-send and the stream
+    cannot be resynchronized.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed inside a frame length prefix "
+            f"({len(exc.partial)}/{_LENGTH.size} bytes)"
+        ) from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} outside (0, {MAX_FRAME_BYTES}]"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed inside a frame body "
+            f"({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return decode_body(body)
+
+
+# -- error transport ----------------------------------------------------------
+
+
+def error_to_wire(error: BaseException) -> dict:
+    """Response payload carrying a typed error."""
+    return {
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+        }
+    }
+
+
+def error_from_wire(payload: dict) -> ReproError:
+    """Rebuild the typed exception of an ``{"error": ...}`` response.
+
+    The class is looked up by name in :mod:`repro.errors`; unknown (or
+    non-Repro) types degrade to the :class:`ReproError` base so clients
+    always get the library's exception hierarchy.
+    """
+    from repro import errors as errors_module
+
+    detail = payload.get("error")
+    if not isinstance(detail, dict):
+        raise ProtocolError(f"malformed error response: {payload!r}")
+    message = str(detail.get("message", "unknown server error"))
+    type_name = detail.get("type", "ReproError")
+    cls = getattr(errors_module, str(type_name), None)
+    if (
+        isinstance(cls, type)
+        and issubclass(cls, ReproError)
+        and cls not in (errors_module.ThresholdExceededError,
+                        errors_module.PlanInvariantError,
+                        errors_module.SqlSyntaxError)
+    ):
+        return cls(message)
+    # Errors with structured constructors (or unknown names) carry
+    # their full story in the message already.
+    return ReproError(f"{type_name}: {message}")
+
+
+# -- result transport ---------------------------------------------------------
+
+
+def result_to_wire(result) -> dict:
+    """Serialize a QueryResult (physical scalars, schema, profile text)."""
+    from repro.storage.database import schema_to_payload
+    from repro.storage.engine import column_to_jsonable
+
+    profile = getattr(result, "profile", None)
+    return {
+        "schema": schema_to_payload(result.schema),
+        "columns": {
+            name: column_to_jsonable(result.columns[name])
+            for name in result.column_names
+        },
+        "row_count": result.row_count,
+        "profile": profile.to_text() if profile is not None else None,
+    }
+
+
+def result_from_wire(payload: dict):
+    """Rebuild a QueryResult from :func:`result_to_wire` output."""
+    from repro.exec.result import QueryResult
+    from repro.storage.database import payload_to_schema
+    from repro.storage.engine import column_from_jsonable
+
+    try:
+        schema = payload_to_schema(payload["schema"])
+        columns = {
+            field.name: column_from_jsonable(
+                field.dtype, payload["columns"][field.name]
+            )
+            for field in schema
+        }
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed result payload: {exc}") from exc
+    result = QueryResult(schema, columns)
+    profile_text = payload.get("profile")
+    if profile_text is not None:
+        result.profile = RemoteProfile(profile_text)
+    return result
+
+
+class RemoteProfile:
+    """Render-only stand-in for a QueryProfile on the client side.
+
+    Profiles are aggregated server-side; what crosses the wire is the
+    rendered text, which is all ``--profile`` consumers (the REPL, the
+    examples) read back out.
+    """
+
+    def __init__(self, text: str):
+        self._text = text
+
+    def to_text(self) -> str:
+        return self._text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteProfile({len(self._text)} chars)"
+
+
+def check_response(payload: dict | None) -> dict:
+    """Raise the typed error of an error response; pass others through."""
+    if payload is None:
+        raise ConnectionClosedError(
+            "server closed the connection before replying"
+        )
+    if "error" in payload:
+        raise error_from_wire(payload)
+    return payload

@@ -1,11 +1,14 @@
-"""SQL session: statement dispatch against a Database.
+"""SQL sessions: statement dispatch against a Database.
 
 This module wires the front end together: parse → (DDL execution | bind
-→ optimize → physical plan → collect).  It is invoked through
-:meth:`repro.storage.database.Database.sql` and
-:meth:`~repro.storage.database.Database.explain` — those are the public
-entry points; the module-level :func:`execute_sql` / :func:`run_select`
-remain as thin deprecation shims.
+→ optimize → physical plan → collect) — and owns :class:`Session`, the
+first-class per-caller scope.  A session holds sticky knobs
+(parallelism, backend, profiling, snapshot reads) and is the unit the
+network server hands each connection;
+:meth:`repro.storage.database.Database.sql` delegates to an implicit
+default session so single-caller code never has to see one.  The
+module-level :func:`execute_sql` / :func:`run_select` remain as thin
+deprecation shims.
 
 Every statement bumps always-on counters in the owning database's
 :class:`~repro.obs.metrics.MetricsRegistry` (statement totals per kind,
@@ -40,6 +43,187 @@ from repro.types import DataType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.database import Database
+
+
+def statement_kind(text: str) -> str:
+    """Coarse statement class: ``"read"`` | ``"write"`` | ``"checkpoint"``.
+
+    Classified from the leading keyword alone — enough for routing
+    decisions that must not parse (the server's read/write split, the
+    snapshot-read gate) and deliberately conservative: anything that is
+    not recognisably a read or a checkpoint is treated as a write.
+    """
+    word = ""
+    for token in text.replace("(", " ").split():
+        word = token.lower()
+        break
+    if word in ("select", "explain"):
+        return "read"
+    if word == "checkpoint":
+        return "checkpoint"
+    return "write"
+
+
+class Session:
+    """One caller's scope over a shared :class:`Database`.
+
+    A session carries sticky per-caller knobs — *parallelism*,
+    *backend*, *profile* — that per-statement keyword arguments still
+    override, plus *snapshot_reads*: when enabled (and the engine
+    supports it), every read statement pins an MVCC snapshot for its
+    duration, so concurrent writers and ``CHECKPOINT``\\ s never tear an
+    in-flight scan.  The network server opens one session per
+    connection with ``snapshot_reads=True``; local callers get the same
+    object from :meth:`Database.session`.
+
+    Sessions are cheap: they hold no storage state beyond the knobs,
+    and closing one only flips bookkeeping (the database stays open).
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        *,
+        parallelism: int | None = None,
+        backend: str | None = None,
+        profile: bool = False,
+        snapshot_reads: bool = False,
+        label: str | None = None,
+        _implicit: bool = False,
+    ):
+        self.database = database
+        self.parallelism = parallelism
+        self.backend = backend
+        self.profile = profile
+        #: Snapshot reads need an engine that can pin one; on a memory
+        #: engine the flag quietly degrades to plain (still correct,
+        #: because single-threaded) reads rather than failing.
+        self.snapshot_reads = (
+            snapshot_reads and database.engine.supports_snapshots
+        )
+        self.label = label
+        #: Statements executed through this session (all kinds).
+        self.statements = 0
+        self._implicit = _implicit
+        self._closed = False
+        if not _implicit:
+            database._session_opened()
+
+    # -- knob resolution ----------------------------------------------------
+
+    def _effective_parallelism(self, override: int | None) -> int | None:
+        if override is not None:
+            return override
+        if self.parallelism is not None:
+            return self.parallelism
+        return self.database.parallelism
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("session is closed")
+
+    # -- statement execution ------------------------------------------------
+
+    def sql(
+        self,
+        text: str,
+        *,
+        parallelism: int | None = None,
+        backend: str | None = None,
+        profile: bool | None = None,
+        optimizer_options: OptimizerOptions | None = None,
+    ) -> QueryResult:
+        """Execute one statement with the session's knobs applied.
+
+        Per-statement keywords override the session knobs, which
+        override the database defaults.  ``profile=None`` means "use
+        the session's profile setting".
+        """
+        self._check_open()
+        self._count_session_statement()
+        effective_profile = self.profile if profile is None else profile
+        effective_parallelism = self._effective_parallelism(parallelism)
+        if self.snapshot_reads and statement_kind(text) == "read":
+            with self.database.snapshot() as view:
+                return view.sql(
+                    text,
+                    parallelism=effective_parallelism,
+                    profile=effective_profile,
+                    optimizer_options=optimizer_options,
+                )
+        return _execute_statement(
+            self.database,
+            text,
+            optimizer_options=optimizer_options,
+            parallelism=effective_parallelism,
+            backend=backend if backend is not None else self.backend,
+            profile=effective_profile,
+        )
+
+    def explain(
+        self,
+        text: str,
+        *,
+        parallelism: int | None = None,
+        backend: str | None = None,
+        analyze: bool = False,
+        optimizer_options: OptimizerOptions | None = None,
+    ) -> str:
+        """Render the plan of a query with the session's knobs applied."""
+        self._check_open()
+        self._count_session_statement()
+        effective_parallelism = self._effective_parallelism(parallelism)
+        if self.snapshot_reads and not analyze:
+            with self.database.snapshot() as view:
+                return view.explain(
+                    text,
+                    parallelism=effective_parallelism,
+                    optimizer_options=optimizer_options,
+                )
+        return explain_sql(
+            self.database,
+            text,
+            optimizer_options=optimizer_options,
+            parallelism=effective_parallelism,
+            backend=backend if backend is not None else self.backend,
+            analyze=analyze,
+        )
+
+    def _count_session_statement(self) -> None:
+        self.statements += 1
+        obs = getattr(self.database, "obs", None)
+        if obs is not None:
+            obs.counter("session.statements").inc()
+            if self.label:
+                obs.counter(f"session.{self.label}.statements").inc()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the session (idempotent); the database stays open."""
+        if not self._closed:
+            self._closed = True
+            if not self._implicit:
+                self.database._session_closed()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.snapshot_reads:
+            flags.append("snapshot_reads")
+        if self._closed:
+            flags.append("closed")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"Session(label={self.label!r}{suffix})"
 
 
 def _execute_statement(

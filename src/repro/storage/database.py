@@ -38,6 +38,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.patch_index import PatchIndex
     from repro.exec.result import QueryResult
     from repro.obs.metrics import MetricsRegistry
+    from repro.sql.session import Session
+    from repro.storage.snapshot import SnapshotView
 
 DataLoader = Callable[[Table], None]
 
@@ -142,6 +144,83 @@ class Database:
         #: Observed scan selectivities from profiled queries; the
         #: advisor consumes this (see repro.obs.feedback).
         self.feedback = CardinalityFeedback()
+        #: Session bookkeeping (both construction paths run through
+        #: here, so ``Database.recover`` instances get it too).
+        self._implicit_session = None
+        self._open_sessions = 0
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(
+        self,
+        *,
+        parallelism: int | None = None,
+        backend: str | None = None,
+        profile: bool = False,
+        snapshot_reads: bool = False,
+        label: str | None = None,
+    ) -> "Session":
+        """Open a :class:`~repro.sql.session.Session` on this database.
+
+        The session carries sticky knobs every statement issued through
+        it inherits (*parallelism*, *backend*, *profile*), and
+        ``snapshot_reads=True`` gives each read statement its own MVCC
+        snapshot pin (durable engines only; silently plain reads
+        otherwise).  *label* tags the session's ``session.<label>.*``
+        metrics.  Sessions are context managers::
+
+            with db.session(parallelism=4) as session:
+                session.sql("SELECT ...")
+        """
+        from repro.sql.session import Session
+
+        return Session(
+            self,
+            parallelism=parallelism,
+            backend=backend,
+            profile=profile,
+            snapshot_reads=snapshot_reads,
+            label=label,
+        )
+
+    def _default_session(self) -> "Session":
+        """The implicit session :meth:`sql` / :meth:`explain` run under."""
+        if self._implicit_session is None:
+            from repro.sql.session import Session
+
+            self._implicit_session = Session(
+                self, label="default", _implicit=True
+            )
+        return self._implicit_session
+
+    def _session_opened(self) -> None:
+        self._open_sessions += 1
+        self.obs.counter("session.opened").inc()
+        self.obs.gauge("session.active").set(self._open_sessions)
+
+    def _session_closed(self) -> None:
+        self._open_sessions = max(0, self._open_sessions - 1)
+        self.obs.counter("session.closed").inc()
+        self.obs.gauge("session.active").set(self._open_sessions)
+
+    def snapshot(self) -> "SnapshotView":
+        """Pin an MVCC snapshot and return a read-only view over it.
+
+        The view exposes ``sql`` / ``explain`` for ``SELECT`` statements
+        against exactly the table state at pin time; close it (or use it
+        as a context manager) to release the pin so deferred segment GC
+        can run.  Requires a durable database — snapshots are
+        reconstructed from immutable segments plus the WAL.
+        """
+        from repro.storage.snapshot import SnapshotView
+
+        handle = self.engine.pin_snapshot(self)
+        if handle is None:
+            raise StorageError(
+                f"snapshot reads require a durable database; the "
+                f"{self.engine.name!r} engine cannot pin one"
+            )
+        return SnapshotView(self, handle)
 
     def _on_table_event(self, event: str, payload: dict) -> None:
         """Always-on maintenance counters, plus engine data logging."""
@@ -334,19 +413,17 @@ class Database:
         the result (``result.profile``), and *optimizer_options* passes
         a :class:`~repro.plan.optimizer.OptimizerOptions` through to the
         optimizer (e.g. to disable PatchIndex rewrites).
-        """
-        # Imported lazily to avoid a package import cycle
-        # (storage → sql → plan → storage).
-        from repro.sql.session import _execute_statement
 
-        effective = parallelism if parallelism is not None else self.parallelism
-        return _execute_statement(
-            self,
+        Statements run under the database's implicit default session;
+        open an explicit :meth:`session` for sticky knobs or snapshot
+        reads.
+        """
+        return self._default_session().sql(
             text,
-            optimizer_options=optimizer_options,
-            parallelism=effective,
+            parallelism=parallelism,
             backend=backend,
             profile=profile,
+            optimizer_options=optimizer_options,
         )
 
     def explain(
@@ -364,16 +441,12 @@ class Database:
         actual row counts, wall times and PatchSelect counters
         (equivalent to ``EXPLAIN ANALYZE <query>``).
         """
-        from repro.sql.session import explain_sql
-
-        effective = parallelism if parallelism is not None else self.parallelism
-        return explain_sql(
-            self,
+        return self._default_session().explain(
             text,
-            optimizer_options=optimizer_options,
-            parallelism=effective,
+            parallelism=parallelism,
             backend=backend,
             analyze=analyze,
+            optimizer_options=optimizer_options,
         )
 
     # -- observability -----------------------------------------------------------

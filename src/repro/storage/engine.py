@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import shutil
+import threading
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -59,8 +60,14 @@ from repro.storage.manifest import (
 )
 from repro.storage.partition import Partition
 from repro.storage.segment import ENCODING_MODES, open_segment, write_segment
+from repro.storage.snapshot import SnapshotHandle
 from repro.storage.table import Table
-from repro.storage.wal import DATA_KINDS, WalRecord, WriteAheadLog
+from repro.storage.wal import (
+    DATA_KINDS,
+    WalRecord,
+    WriteAheadLog,
+    live_records_of,
+)
 from repro.types import DataType
 from repro.types.datatypes import coerce_scalar
 
@@ -114,10 +121,20 @@ class StorageEngine:
     name = "memory"
     #: True when table mutations are logged as WAL data records.
     logs_data = False
+    #: True when the engine can pin MVCC snapshots (durable only: a
+    #: snapshot is reconstructed from immutable segments + the WAL).
+    supports_snapshots = False
 
     def cache_stats(self) -> dict | None:
         """Block-cache snapshot, or None when the engine has no cache."""
         return None
+
+    def pin_snapshot(self, database: "Database") -> SnapshotHandle | None:
+        """Pin the current (generation, WAL LSN) state; None = unsupported."""
+        return None
+
+    def release_snapshot(self, handle: SnapshotHandle) -> None:
+        """Drop one pin; deferred generation GC may run (no-op here)."""
 
     def encoded_fraction(self, table_name: str) -> float:
         """Fraction of *table_name*'s blocks with a non-raw encoding."""
@@ -174,6 +191,7 @@ class DurableEngine(StorageEngine):
 
     name = "durable"
     logs_data = True
+    supports_snapshots = True
 
     def __init__(
         self,
@@ -210,6 +228,17 @@ class DurableEngine(StorageEngine):
         #: encoded/raw byte ratio, refreshed at checkpoint and load.
         self._encoded_fractions: dict[str, float] = {}
         self._encoded_ratios: dict[str, float] = {}
+        #: Snapshot machinery (see :mod:`repro.storage.snapshot`): the
+        #: lock serializes pinning with the checkpoint generation flip;
+        #: the cache shares one reconstruction per (generation, LSN)
+        #: key; pinned/deferred generation bookkeeping drives the
+        #: deferred GC of segment directories a checkpoint superseded.
+        self._snapshot_lock = threading.Lock()
+        self._snapshots: dict[tuple[int, int], SnapshotHandle] = {}
+        self._pinned_generations: dict[str, int] = {}
+        self._deferred_generations: set[str] = set()
+        self._current_manifest: Manifest | None = None
+        self._metrics = None
 
     @property
     def cache(self) -> BlockCache | None:
@@ -242,6 +271,7 @@ class DurableEngine(StorageEngine):
             )
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / SEGMENTS_DIR).mkdir(exist_ok=True)
+        self._metrics = database.obs
         if self._cache is not None:
             self._cache.attach_metrics(database.obs)
         return WriteAheadLog(
@@ -427,18 +457,23 @@ class DurableEngine(StorageEngine):
             database.obs.gauge(f"storage.{table.name}.encoded_ratio").set(
                 self._encoded_ratios[table.name]
             )
-        write_manifest(
-            self.root, Manifest(checkpoint_lsn=lsn, tables=tables),
-            sync=self.sync,
-        )
-        database.wal.checkpoint({"checkpoint_lsn": lsn})
-        pruned = database.wal.compact()
-        self._collect_old_generations(generation)
-        # The generation flipped: every cached block keyed by an older
-        # generation is unreachable from the new readers, so drop them
-        # eagerly rather than letting them age out of the LRU.
-        if self._cache is not None:
-            self._cache.clear()
+        # The flip — manifest install, WAL marker + compaction, old-
+        # generation GC — happens under the snapshot lock so a reader
+        # pinning concurrently sees either entirely the old or entirely
+        # the new generation, never a torn mix (the slow segment writes
+        # above ran outside the lock into the not-yet-visible directory).
+        manifest = Manifest(checkpoint_lsn=lsn, tables=tables)
+        with self._snapshot_lock:
+            write_manifest(self.root, manifest, sync=self.sync)
+            self._current_manifest = manifest
+            database.wal.checkpoint({"checkpoint_lsn": lsn})
+            pruned = database.wal.compact()
+            self._collect_old_generations(generation)
+            # The generation flipped: every cached block keyed by an older
+            # generation is unreachable from the new readers, so drop them
+            # eagerly rather than letting them age out of the LRU.
+            if self._cache is not None:
+                self._cache.clear()
         database.obs.gauge("storage.checkpoint_lsn").set(lsn)
         return {
             "engine": self.name,
@@ -451,11 +486,26 @@ class DurableEngine(StorageEngine):
         }
 
     def _collect_old_generations(self, current: str) -> None:
-        """Best-effort removal of segment generations the manifest left."""
+        """Remove superseded segment generations; defer pinned ones.
+
+        Called with the snapshot lock held.  A generation still pinned
+        by a live snapshot is left on disk and queued for deferred GC —
+        :meth:`release_snapshot` collects it once the last pin drops —
+        so a checkpoint never deletes files an in-flight scan reads.
+        """
         segments_root = self.root / SEGMENTS_DIR
         for entry in segments_root.iterdir():
-            if entry.name != current and entry.is_dir():
-                shutil.rmtree(entry, ignore_errors=True)
+            if entry.name == current or not entry.is_dir():
+                continue
+            if self._pinned_generations.get(entry.name, 0) > 0:
+                self._deferred_generations.add(entry.name)
+                continue
+            shutil.rmtree(entry, ignore_errors=True)
+            self._deferred_generations.discard(entry.name)
+        if self._metrics is not None:
+            self._metrics.gauge("storage.snapshot.deferred_generations").set(
+                len(self._deferred_generations)
+            )
 
     # -- recovery ---------------------------------------------------------
 
@@ -463,6 +513,7 @@ class DurableEngine(StorageEngine):
         """Manifest load → WAL tail replay → PatchIndex re-discovery."""
         started = time.perf_counter()
         manifest = read_manifest(self.root)
+        self._current_manifest = manifest
         checkpoint_lsn = manifest.checkpoint_lsn if manifest else None
         if manifest is not None:
             for table_manifest in manifest.tables.values():
@@ -563,7 +614,6 @@ class DurableEngine(StorageEngine):
         divergent data — the coordinator falls back to serial execution.
         """
         manifest = read_manifest(self.root)
-        checkpoint_lsn = manifest.checkpoint_lsn if manifest else None
         wal = WriteAheadLog(
             self.root / WAL_NAME, sync=False, tolerate_torn_tail=False
         )
@@ -572,13 +622,36 @@ class DurableEngine(StorageEngine):
                 f"worker attach at {self.root} saw WAL LSN {wal.last_lsn}, "
                 f"coordinator planned against {expected_lsn}"
             )
+        return self._reconstruct_tables(manifest, wal.records())
+
+    def _reconstruct_tables(
+        self,
+        manifest: Manifest | None,
+        records: list[WalRecord],
+        *,
+        record_stats: bool = True,
+    ) -> dict[str, Table]:
+        """Table state at one point of the log: manifest + tail replay.
+
+        The shared core of :meth:`attach_tables` (worker processes) and
+        :meth:`pin_snapshot` (in-process MVCC readers): load every table
+        of *manifest* lazily from its segment files, apply post-
+        checkpoint drops, then replay the live data tail of *records*.
+        Callers choose the point in time by passing only the records at
+        or below their LSN.  ``record_stats=False`` keeps a snapshot
+        reconstruction from overwriting the live engine's encoded-ratio
+        gauges.
+        """
+        checkpoint_lsn = manifest.checkpoint_lsn if manifest else None
         tables: dict[str, Table] = {}
         if manifest is not None:
             for table_manifest in manifest.tables.values():
                 tables[table_manifest.name] = self._load_table(
-                    table_manifest, manifest.checkpoint_lsn
+                    table_manifest,
+                    manifest.checkpoint_lsn,
+                    record_stats=record_stats,
                 )
-        for record in wal.records():
+        for record in records:
             if (
                 record.kind == "drop_table"
                 and (checkpoint_lsn is None or record.lsn > checkpoint_lsn)
@@ -587,7 +660,7 @@ class DurableEngine(StorageEngine):
 
         from repro.storage.database import payload_to_schema
 
-        for record in wal.live_records():
+        for record in live_records_of(records):
             if record.kind == "create_table":
                 name = record.payload["name"]
                 if name in tables:
@@ -610,8 +683,113 @@ class DurableEngine(StorageEngine):
                 self._apply_record_to_table(table, record)
         return tables
 
+    # -- snapshots ---------------------------------------------------------
+
+    def pin_snapshot(self, database: "Database") -> SnapshotHandle:
+        """Pin the current (manifest generation, WAL LSN) for a reader.
+
+        Reconstructs the table state at exactly that pair — or reuses
+        the cached reconstruction when an earlier reader already pinned
+        the same key — and takes one refcount on it plus one on the
+        generation's segment directory, deferring its GC past any
+        checkpoint that supersedes it.  Runs under the snapshot lock so
+        it serializes only with the checkpoint *flip* (and other pins),
+        never with WAL appends: writers do not block readers.
+        """
+        wal = database.wal
+        with self._snapshot_lock:
+            manifest = self._current_manifest
+            generation_lsn = (
+                manifest.checkpoint_lsn if manifest is not None else 0
+            )
+            wal_lsn = wal.last_lsn
+            key = (generation_lsn, wal_lsn)
+            handle = self._snapshots.get(key)
+            if handle is None:
+                records = [
+                    record
+                    for record in wal.records()
+                    if record.lsn <= wal_lsn
+                ]
+                tables = self._reconstruct_tables(
+                    manifest, records, record_stats=False
+                )
+                handle = SnapshotHandle(key, generation_lsn, wal_lsn, tables)
+                # Retire unpinned reconstructions of superseded states;
+                # the cache then holds the pinned set plus this key.
+                for stale_key, stale in list(self._snapshots.items()):
+                    if stale.pins <= 0:
+                        del self._snapshots[stale_key]
+                self._snapshots[key] = handle
+                if self._metrics is not None:
+                    self._metrics.counter("storage.snapshot.builds").inc()
+            elif self._metrics is not None:
+                self._metrics.counter("storage.snapshot.reuses").inc()
+            handle.pins += 1
+            generation_name = handle.generation_name
+            if generation_name is not None:
+                self._pinned_generations[generation_name] = (
+                    self._pinned_generations.get(generation_name, 0) + 1
+                )
+            if self._metrics is not None:
+                self._metrics.counter("storage.snapshot.pins").inc()
+                self._metrics.gauge("storage.snapshot.active").set(
+                    sum(h.pins for h in self._snapshots.values())
+                )
+        return handle
+
+    def release_snapshot(self, handle: SnapshotHandle) -> None:
+        """Drop one pin and garbage-collect deferred generations."""
+        with self._snapshot_lock:
+            if handle.pins > 0:
+                handle.pins -= 1
+            generation_name = handle.generation_name
+            if generation_name is not None:
+                remaining = (
+                    self._pinned_generations.get(generation_name, 0) - 1
+                )
+                if remaining > 0:
+                    self._pinned_generations[generation_name] = remaining
+                else:
+                    self._pinned_generations.pop(generation_name, None)
+            self._sweep_deferred_generations()
+            if self._metrics is not None:
+                self._metrics.gauge("storage.snapshot.active").set(
+                    sum(h.pins for h in self._snapshots.values())
+                )
+
+    def _sweep_deferred_generations(self) -> None:
+        """Delete deferred generation dirs that lost their last pin.
+
+        Called with the snapshot lock held.  Cached (unpinned)
+        reconstructions over a swept generation are evicted with it so
+        a later pin can never resurrect readers over deleted files.
+        """
+        for generation_name in list(self._deferred_generations):
+            if self._pinned_generations.get(generation_name, 0) > 0:
+                continue
+            shutil.rmtree(
+                self.root / SEGMENTS_DIR / generation_name,
+                ignore_errors=True,
+            )
+            self._deferred_generations.discard(generation_name)
+            for key, cached in list(self._snapshots.items()):
+                if (
+                    cached.pins <= 0
+                    and cached.generation_name == generation_name
+                ):
+                    del self._snapshots[key]
+        if self._metrics is not None:
+            self._metrics.gauge("storage.snapshot.deferred_generations").set(
+                len(self._deferred_generations)
+            )
+
     def _load_table(
-        self, table_manifest: TableManifest, generation: int
+        self,
+        table_manifest: TableManifest,
+        generation: int,
+        *,
+        record_stats: bool = True,
     ) -> Table:
         """Attach one table to its checkpointed segment files.
 
@@ -689,12 +867,13 @@ class DurableEngine(StorageEngine):
             partitions.append(partition)
         table.partitions = partitions
         table._renumber()
-        self._encoded_fractions[table_manifest.name] = (
-            encoded_blocks / total_blocks if total_blocks else 0.0
-        )
-        self._encoded_ratios[table_manifest.name] = (
-            payload_total / raw_payload_total if raw_payload_total else 1.0
-        )
+        if record_stats:
+            self._encoded_fractions[table_manifest.name] = (
+                encoded_blocks / total_blocks if total_blocks else 0.0
+            )
+            self._encoded_ratios[table_manifest.name] = (
+                payload_total / raw_payload_total if raw_payload_total else 1.0
+            )
         return table
 
     def _apply_data_record(

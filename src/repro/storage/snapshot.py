@@ -1,0 +1,210 @@
+"""MVCC-style snapshot reads over the durable storage engine.
+
+Immutable segment files plus a versioned manifest make snapshots nearly
+free: a reader *pins* the pair ``(manifest generation, WAL LSN)`` at
+statement start and reconstructs exactly that table state — segment
+columns of the pinned generation (decoded lazily through the shared
+block cache) with the WAL data tail at or below the pinned LSN replayed
+on top.  This is the same reconstruction
+:meth:`repro.storage.engine.DurableEngine.attach_tables` performs for
+process workers, applied in-process and cached per key so N concurrent
+readers at the same snapshot share one table build.
+
+Writers and checkpoints never block a pinned reader and a reader never
+observes a partially-applied generation:
+
+- writers only *append* WAL records (a record with an LSN above the pin
+  is invisible to the snapshot by construction);
+- a checkpoint installs a new generation but must *defer* deleting the
+  old generation's segment directory while any snapshot pins it
+  (:meth:`DurableEngine.release_snapshot` garbage-collects it once the
+  last pin drops);
+- the generation flip itself is serialized with pinning under the
+  engine's snapshot lock, so a pin sees either entirely the old or
+  entirely the new generation.
+
+:class:`SnapshotView` is the read-only ``Database`` facade query
+execution runs against; :class:`repro.sql.session.Session` pins one per
+read statement when opened with ``snapshot_reads=True`` (the server
+does this for every connection).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import ExecutionError
+from repro.storage.catalog import Catalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.result import QueryResult
+    from repro.storage.database import Database
+    from repro.storage.table import Table
+
+
+class SnapshotHandle:
+    """A pinned ``(generation LSN, WAL LSN)`` pair and its table state.
+
+    Handles are created, refcounted and cached by
+    :meth:`~repro.storage.engine.DurableEngine.pin_snapshot` /
+    :meth:`~repro.storage.engine.DurableEngine.release_snapshot`; equal
+    keys share one handle, so repeated reads at an unchanged database
+    state reuse the same reconstructed tables.  ``pins`` is guarded by
+    the engine's snapshot lock.
+    """
+
+    def __init__(
+        self,
+        key: tuple[int, int],
+        generation_lsn: int,
+        wal_lsn: int,
+        tables: dict[str, "Table"],
+    ):
+        self.key = key
+        #: Checkpoint LSN of the pinned manifest generation (0 when the
+        #: database has never checkpointed — the snapshot is WAL-only).
+        self.generation_lsn = generation_lsn
+        #: Last WAL LSN visible to the snapshot.
+        self.wal_lsn = wal_lsn
+        self.tables = tables
+        #: Active pin count; maintained under the engine snapshot lock.
+        self.pins = 0
+        self._catalog: Catalog | None = None
+        self._catalog_lock = threading.Lock()
+
+    @property
+    def generation_name(self) -> str | None:
+        """Segment directory name of the pinned generation, or None."""
+        if self.generation_lsn <= 0:
+            return None
+        return f"g{self.generation_lsn:012d}"
+
+    @property
+    def catalog(self) -> Catalog:
+        """A catalog over the snapshot tables, built once per handle.
+
+        The snapshot catalog deliberately carries **no PatchIndexes**:
+        live indexes track the live (moving) table state and their
+        rowids would not line up with a historical snapshot, so
+        snapshot reads run with plain (still verified) scan plans.
+        Carrying indexes forward incrementally is the updatable-
+        PatchIndex item on the roadmap.
+        """
+        with self._catalog_lock:
+            if self._catalog is None:
+                catalog = Catalog()
+                for table in self.tables.values():
+                    catalog.add_table(table)
+                self._catalog = catalog
+            return self._catalog
+
+
+class SnapshotView:
+    """A read-only ``Database`` facade bound to one pinned snapshot.
+
+    Exposes exactly the surface statement execution needs — ``catalog``
+    (the snapshot tables), ``obs`` / ``feedback`` (shared with the
+    owning database so served reads feed the same observability), and
+    ``parallelism``.  Only ``SELECT`` / ``EXPLAIN`` statements may run;
+    the parallel backend is clamped to threads because a process worker
+    would re-attach the data directory at the *live* WAL LSN and escape
+    the snapshot.
+
+    The view owns its pin: :meth:`close` (or context-manager exit)
+    releases it, allowing deferred generation GC to run.
+    """
+
+    def __init__(self, database: "Database", handle: SnapshotHandle):
+        self._database = database
+        self.handle = handle
+        self.catalog = handle.catalog
+        self.engine = database.engine
+        self.obs = database.obs
+        self.feedback = database.feedback
+        self.parallelism = database.parallelism
+        self._released = False
+
+    @property
+    def wal_lsn(self) -> int:
+        return self.handle.wal_lsn
+
+    @property
+    def generation_lsn(self) -> int:
+        return self.handle.generation_lsn
+
+    def sql(
+        self,
+        text: str,
+        *,
+        parallelism: int | None = None,
+        backend: str | None = None,
+        profile: bool = False,
+        optimizer_options=None,
+    ) -> "QueryResult":
+        """Execute one read statement against the pinned snapshot."""
+        from repro.sql.session import _execute_statement, statement_kind
+
+        self._check_released()
+        if statement_kind(text) != "read":
+            raise ExecutionError(
+                "snapshot views are read-only: only SELECT / EXPLAIN may "
+                "run against a pinned snapshot"
+            )
+        effective = parallelism if parallelism is not None else self.parallelism
+        del backend  # clamped: process workers would escape the snapshot
+        return _execute_statement(
+            self,
+            text,
+            optimizer_options=optimizer_options,
+            parallelism=effective,
+            backend="thread",
+            profile=profile,
+        )
+
+    def explain(
+        self,
+        text: str,
+        *,
+        parallelism: int | None = None,
+        analyze: bool = False,
+        optimizer_options=None,
+    ) -> str:
+        """Render the plan of a query against the pinned snapshot."""
+        from repro.sql.session import explain_sql
+
+        self._check_released()
+        effective = parallelism if parallelism is not None else self.parallelism
+        return explain_sql(
+            self,
+            text,
+            optimizer_options=optimizer_options,
+            parallelism=effective,
+            backend="thread",
+            analyze=analyze,
+        )
+
+    def table(self, name: str) -> "Table":
+        return self.catalog.table(name)
+
+    def close(self) -> None:
+        """Release the pin (idempotent); deferred GC may then collect."""
+        if not self._released:
+            self._released = True
+            self._database.engine.release_snapshot(self.handle)
+
+    def _check_released(self) -> None:
+        if self._released:
+            raise ExecutionError("snapshot view is closed")
+
+    def __enter__(self) -> "SnapshotView":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SnapshotView(generation={self.handle.generation_lsn}, "
+            f"lsn={self.handle.wal_lsn}, tables={sorted(self.handle.tables)})"
+        )

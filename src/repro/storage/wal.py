@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import WalError
 
@@ -87,6 +88,42 @@ class WalRecord:
         return cls(lsn=lsn, kind=kind, payload=payload)
 
 
+def live_records_of(records: list[WalRecord]) -> list[WalRecord]:
+    """The still-effective subset of *records*, in LSN order.
+
+    The shared core behind :meth:`WriteAheadLog.live_records`, also
+    applied by the snapshot machinery to a *prefix* of the log (every
+    record at or below a pinned LSN) — snapshot replay must elide
+    cancelled create/drop pairs exactly like full recovery does.
+    """
+    dropped_tables: set[str] = set()
+    dropped_indexes: set[str] = set()
+    live: list[WalRecord] = []
+    for record in reversed(records):
+        if record.kind == "drop_table":
+            dropped_tables.add(record.payload["name"])
+        elif record.kind == "drop_index":
+            dropped_indexes.add(record.payload["name"])
+        elif record.kind == "create_table":
+            name = record.payload["name"]
+            if name in dropped_tables:
+                dropped_tables.discard(name)
+            else:
+                live.append(record)
+        elif record.kind == "create_index":
+            name = record.payload["name"]
+            table = record.payload["table"]
+            if name in dropped_indexes or table in dropped_tables:
+                dropped_indexes.discard(name)
+            else:
+                live.append(record)
+        elif record.kind in DATA_KINDS:
+            if record.payload.get("table") not in dropped_tables:
+                live.append(record)
+    live.reverse()
+    return live
+
+
 class WriteAheadLog:
     """Append-only JSONL log with replay support.
 
@@ -116,6 +153,10 @@ class WriteAheadLog:
         self._metrics = metrics
         self._records: list[WalRecord] = []
         self._next_lsn = 1
+        #: True inside a :meth:`deferred_sync` block — appends skip
+        #: their per-record fsync and the batch syncs once at exit.
+        self._defer_sync = False
+        self._deferred_appends = 0
         if self._path is not None and self._path.exists():
             self._records = self._read_from_disk(self._path, tolerate_torn_tail)
             if self._records:
@@ -183,8 +224,10 @@ class WriteAheadLog:
             with open(self._path, "a", encoding="utf-8") as handle:
                 handle.write(line)
                 handle.flush()
-                if self._sync:
+                if self._sync and not self._defer_sync:
                     os.fsync(handle.fileno())
+        if self._defer_sync:
+            self._deferred_appends += 1
         if self._metrics is not None:
             self._metrics.counter("wal.records").inc()
             self._metrics.counter("wal.bytes").inc(len(line))
@@ -195,6 +238,48 @@ class WriteAheadLog:
     def checkpoint(self, payload: dict | None = None) -> WalRecord:
         """Write a checkpoint marker (optionally carrying manifest info)."""
         return self.append("checkpoint", payload)
+
+    # -- group commit --------------------------------------------------------
+
+    def sync(self) -> None:
+        """fsync the log file (closes a deferred group-commit batch)."""
+        if self._path is None or not self._path.exists():
+            return
+        with open(self._path, "a", encoding="utf-8") as handle:
+            os.fsync(handle.fileno())
+
+    @contextmanager
+    def deferred_sync(self) -> Iterator[None]:
+        """Group commit: batch the fsyncs of all appends in this block.
+
+        Appends inside the block are written to the file immediately but
+        skip their per-record fsync; one :meth:`sync` at block exit makes
+        the whole batch durable together.  This is the server's write
+        path under load — N concurrent commits pay one fsync instead of
+        N.  No record is acknowledged to a caller until the block exits,
+        so the durability contract per *acknowledged* record is
+        unchanged.  Re-entrant blocks are no-ops (the outermost block
+        owns the sync).
+        """
+        if self._defer_sync:
+            yield
+            return
+        self._defer_sync = True
+        self._deferred_appends = 0
+        try:
+            yield
+        finally:
+            self._defer_sync = False
+            batched = self._deferred_appends
+            self._deferred_appends = 0
+            if batched and self._sync:
+                self.sync()
+            if batched and self._metrics is not None:
+                self._metrics.counter("wal.group_commit.batches").inc()
+                self._metrics.counter("wal.group_commit.records").inc(batched)
+                self._metrics.histogram("wal.group_commit.batch_size").observe(
+                    batched
+                )
 
     # -- reading -------------------------------------------------------------
 
@@ -224,32 +309,7 @@ class WriteAheadLog:
         are excluded.  The result is what a replay actually needs to
         apply.
         """
-        dropped_tables: set[str] = set()
-        dropped_indexes: set[str] = set()
-        live: list[WalRecord] = []
-        for record in reversed(self._records):
-            if record.kind == "drop_table":
-                dropped_tables.add(record.payload["name"])
-            elif record.kind == "drop_index":
-                dropped_indexes.add(record.payload["name"])
-            elif record.kind == "create_table":
-                name = record.payload["name"]
-                if name in dropped_tables:
-                    dropped_tables.discard(name)
-                else:
-                    live.append(record)
-            elif record.kind == "create_index":
-                name = record.payload["name"]
-                table = record.payload["table"]
-                if name in dropped_indexes or table in dropped_tables:
-                    dropped_indexes.discard(name)
-                else:
-                    live.append(record)
-            elif record.kind in DATA_KINDS:
-                if record.payload.get("table") not in dropped_tables:
-                    live.append(record)
-        live.reverse()
-        return live
+        return live_records_of(self._records)
 
     # -- compaction ---------------------------------------------------------
 

@@ -21,11 +21,39 @@ class TestConnect:
     def test_connect_returns_database(self):
         assert isinstance(repro.connect(), Database)
 
-    def test_connect_with_wal(self, tmp_path):
+    def test_connect_with_wal_file_is_deprecated(self, tmp_path):
         wal = tmp_path / "wal.jsonl"
-        db = repro.connect(wal)
+        with pytest.warns(DeprecationWarning, match="durable directory"):
+            db = repro.connect(wal)
         db.sql("CREATE TABLE t (c BIGINT)")
         assert wal.exists()
+
+    def test_connect_with_existing_wal_file_is_deprecated(self, tmp_path):
+        # An existing file triggers the legacy path regardless of suffix.
+        wal = tmp_path / "metadata"
+        wal.touch()
+        with pytest.warns(DeprecationWarning):
+            db = repro.connect(wal)
+        db.sql("CREATE TABLE t (c BIGINT)")
+        assert wal.read_text() != ""
+
+    def test_connect_with_directory_opens_durable(self, tmp_path):
+        db = repro.connect(tmp_path / "data", parallelism=1)
+        assert db.engine.name == "durable"
+        db.sql("CREATE TABLE t (c BIGINT)")
+        db.sql("INSERT INTO t VALUES (7)")
+        db.checkpoint()
+        db.close()
+        reopened = repro.connect(tmp_path / "data", parallelism=1)
+        assert reopened.sql("SELECT c FROM t").scalar() == 7
+
+    def test_connect_rejects_target_and_path(self, tmp_path):
+        with pytest.raises(repro.ReproError):
+            repro.connect(tmp_path / "a", path=tmp_path / "b")
+
+    def test_connect_uri_rejects_storage_knobs(self):
+        with pytest.raises(repro.ReproError, match="storage knobs"):
+            repro.connect("repro://localhost:1", mmap=True)
 
     def test_parallelism_is_keyword_only(self):
         with pytest.raises(TypeError):
@@ -125,3 +153,51 @@ class TestQueryResultErgonomics:
         assert isinstance(result, QueryResult)
         assert result.column_names == ("plan",)
         assert len(result) > 1
+
+
+class TestDbApiCursorSurface:
+    def test_rowcount(self, db):
+        assert db.sql("SELECT c FROM t").rowcount == 3
+        assert db.sql("SELECT c FROM t WHERE c > 99").rowcount == 0
+
+    def test_fetchone_walks_rows_then_none(self, db):
+        result = db.sql("SELECT c FROM t")
+        assert result.fetchone() == (1,)
+        assert result.fetchone() == (2,)
+        assert result.fetchone() == (3,)
+        assert result.fetchone() is None
+        assert result.fetchone() is None
+
+    def test_fetchmany_chunks(self, db):
+        result = db.sql("SELECT c, v FROM t")
+        assert result.fetchmany(2) == [(1, "a"), (2, "b")]
+        assert result.fetchmany(2) == [(3, "c")]
+        assert result.fetchmany(2) == []
+
+    def test_fetchmany_default_size_is_one(self, db):
+        result = db.sql("SELECT c FROM t")
+        assert result.fetchmany() == [(1,)]
+
+    def test_fetchmany_rejects_negative(self, db):
+        with pytest.raises(ValueError):
+            db.sql("SELECT c FROM t").fetchmany(-1)
+
+    def test_fetchall_returns_remaining(self, db):
+        result = db.sql("SELECT c FROM t")
+        result.fetchone()
+        assert result.fetchall() == [(2,), (3,)]
+        assert result.fetchall() == []
+
+    def test_getitem_by_column_name(self, db):
+        result = db.sql("SELECT c, v FROM t")
+        assert result["v"].to_pylist() == ["a", "b", "c"]
+        assert "v" in result
+        assert "nope" not in result
+
+    def test_getitem_unknown_column_lists_names(self, db):
+        with pytest.raises(KeyError, match="columns are"):
+            db.sql("SELECT c FROM t")["nope"]
+
+    def test_getitem_rejects_integers(self, db):
+        with pytest.raises(TypeError):
+            db.sql("SELECT c FROM t")[0]

@@ -1,0 +1,210 @@
+"""Sessions and snapshot views: knobs, delegation, pin lifecycle."""
+
+import os
+
+import pytest
+
+import repro
+from repro.errors import ExecutionError, StorageError
+from repro.sql.session import Session, statement_kind
+
+
+@pytest.fixture
+def db():
+    db = repro.connect()
+    db.sql("CREATE TABLE t (c BIGINT, v VARCHAR(5))")
+    db.sql("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+    return db
+
+
+@pytest.fixture
+def durable(tmp_path):
+    db = repro.connect(tmp_path / "data", parallelism=1)
+    db.sql("CREATE TABLE t (c BIGINT, v VARCHAR(5))")
+    db.sql("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+    return db
+
+
+class TestStatementKind:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("SELECT 1", "read"),
+            ("  select c from t", "read"),
+            ("EXPLAIN SELECT c FROM t", "read"),
+            ("explain analyze select 1", "read"),
+            ("CHECKPOINT", "checkpoint"),
+            ("checkpoint;", "write"),  # conservative: token is 'checkpoint;'
+            ("INSERT INTO t VALUES (1)", "write"),
+            ("CREATE TABLE u (x BIGINT)", "write"),
+            ("DELETE FROM t", "write"),
+            ("DROP TABLE t", "write"),
+            ("", "write"),
+        ],
+    )
+    def test_classification(self, text, expected):
+        assert statement_kind(text) == expected
+
+
+class TestSessionBasics:
+    def test_database_session_returns_session(self, db):
+        session = db.session()
+        assert isinstance(session, Session)
+        assert session.sql("SELECT c FROM t").rowcount == 3
+        session.close()
+
+    def test_context_manager_closes(self, db):
+        with db.session() as session:
+            session.sql("SELECT c FROM t")
+        assert session.closed
+        with pytest.raises(ExecutionError, match="closed"):
+            session.sql("SELECT c FROM t")
+
+    def test_close_is_idempotent(self, db):
+        session = db.session()
+        session.close()
+        session.close()
+
+    def test_explain_goes_through_session(self, db):
+        with db.session(parallelism=1) as session:
+            assert "logical plan" in session.explain("SELECT c FROM t")
+
+    def test_sticky_parallelism_knob(self, db):
+        with db.session(parallelism=1) as session:
+            result = session.sql("SELECT c FROM t", profile=True)
+        dop_values = [
+            node.details.get("dop_used")
+            for node in result.profile.root.walk()
+            if "dop_used" in node.details
+        ]
+        assert all(value == 1 for value in dop_values)
+
+    def test_sticky_profile_knob(self, db):
+        with db.session(profile=True) as session:
+            assert session.sql("SELECT c FROM t").profile is not None
+            # Per-statement override wins over the session knob.
+            assert session.sql("SELECT c FROM t", profile=False).profile is None
+
+    def test_session_counts_statements(self, db):
+        with db.session(label="job1") as session:
+            session.sql("SELECT c FROM t")
+            session.sql("SELECT v FROM t")
+            assert session.statements == 2
+        assert db.obs.counter("session.job1.statements").value == 2
+        assert db.obs.counter("session.opened").value == 1
+        assert db.obs.counter("session.closed").value == 1
+
+    def test_database_sql_uses_implicit_session(self, db):
+        db.sql("SELECT c FROM t")
+        assert db.obs.counter("session.statements").value >= 1
+        # The implicit session does not count as an opened session.
+        assert db.obs.counter("session.opened").value == 0
+
+    def test_snapshot_reads_degrade_on_memory_engine(self, db):
+        with db.session(snapshot_reads=True) as session:
+            assert session.snapshot_reads is False
+            assert session.sql("SELECT c FROM t").rowcount == 3
+
+
+class TestSnapshotView:
+    def test_snapshot_requires_durable_engine(self, db):
+        with pytest.raises(StorageError, match="durable"):
+            db.snapshot()
+
+    def test_snapshot_is_stable_across_writes(self, durable):
+        with durable.snapshot() as view:
+            durable.sql("INSERT INTO t VALUES (4, 'd')")
+            assert view.sql("SELECT COUNT(*) AS n FROM t").scalar() == 3
+        assert durable.sql("SELECT COUNT(*) AS n FROM t").scalar() == 4
+
+    def test_snapshot_is_stable_across_checkpoint(self, durable):
+        with durable.snapshot() as view:
+            durable.sql("INSERT INTO t VALUES (4, 'd')")
+            durable.checkpoint()
+            assert view.sql("SELECT COUNT(*) AS n FROM t").scalar() == 3
+            assert sorted(view.sql("SELECT v FROM t").column("v").to_pylist()) == [
+                "a",
+                "b",
+                "c",
+            ]
+
+    def test_snapshot_rejects_writes(self, durable):
+        with durable.snapshot() as view:
+            with pytest.raises(ExecutionError, match="read-only"):
+                view.sql("INSERT INTO t VALUES (9, 'z')")
+
+    def test_snapshot_view_closed_is_idempotent(self, durable):
+        view = durable.snapshot()
+        view.close()
+        view.close()
+        with pytest.raises(ExecutionError, match="closed"):
+            view.sql("SELECT c FROM t")
+
+    def test_same_state_shares_one_handle(self, durable):
+        first = durable.snapshot()
+        second = durable.snapshot()
+        assert first.handle is second.handle
+        assert first.handle.pins == 2
+        first.close()
+        second.close()
+        assert first.handle.pins == 0
+
+    def test_snapshot_explain(self, durable):
+        with durable.snapshot() as view:
+            assert "logical plan" in view.explain("SELECT c FROM t")
+
+    def test_deferred_generation_gc(self, durable, tmp_path):
+        durable.checkpoint()
+        segments = tmp_path / "data" / "segments"
+        old_generations = set(os.listdir(segments))
+        view = durable.snapshot()
+        durable.sql("INSERT INTO t VALUES (4, 'd')")
+        durable.checkpoint()
+        # The pinned generation survives the checkpoint that superseded it.
+        assert old_generations <= set(os.listdir(segments))
+        assert view.sql("SELECT COUNT(*) AS n FROM t").scalar() == 3
+        view.close()
+        remaining = set(os.listdir(segments))
+        assert old_generations.isdisjoint(remaining)
+        assert len(remaining) == 1
+
+    def test_snapshot_catalog_has_no_patchindexes(self, durable):
+        durable.sql("CREATE PATCHINDEX pi ON t(c) TYPE UNIQUE")
+        with durable.snapshot() as view:
+            assert view.catalog.indexes_on("t") == []
+            assert view.sql("SELECT COUNT(DISTINCT c) AS n FROM t").scalar() == 3
+
+    def test_session_snapshot_reads_on_durable(self, durable):
+        with durable.session(snapshot_reads=True) as session:
+            assert session.snapshot_reads is True
+            assert session.sql("SELECT COUNT(*) AS n FROM t").scalar() == 3
+            session.sql("INSERT INTO t VALUES (4, 'd')")
+            assert session.sql("SELECT COUNT(*) AS n FROM t").scalar() == 4
+        assert durable.obs.counter("storage.snapshot.pins").value >= 2
+
+
+class TestGroupCommit:
+    def test_deferred_sync_batches_fsyncs(self, durable):
+        wal = durable.wal
+        with wal.deferred_sync():
+            durable.sql("INSERT INTO t VALUES (10, 'x')")
+            durable.sql("INSERT INTO t VALUES (11, 'y')")
+        assert durable.obs.counter("wal.group_commit.batches").value == 1
+        assert durable.obs.counter("wal.group_commit.records").value == 2
+
+    def test_deferred_sync_is_reentrant(self, durable):
+        wal = durable.wal
+        with wal.deferred_sync():
+            with wal.deferred_sync():
+                durable.sql("INSERT INTO t VALUES (10, 'x')")
+        assert durable.obs.counter("wal.group_commit.batches").value == 1
+
+    def test_records_survive_reopen_after_deferred_sync(self, tmp_path):
+        db = repro.connect(tmp_path / "gc", parallelism=1)
+        db.sql("CREATE TABLE t (c BIGINT)")
+        with db.wal.deferred_sync():
+            db.sql("INSERT INTO t VALUES (1)")
+            db.sql("INSERT INTO t VALUES (2)")
+        db.close()
+        reopened = repro.connect(tmp_path / "gc", parallelism=1)
+        assert reopened.sql("SELECT COUNT(*) AS n FROM t").scalar() == 2

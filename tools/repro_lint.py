@@ -62,6 +62,14 @@ L8  no-raw-segment-decode
     the storage codec layer ({frombuffer_files}) — everything else must
     go through ``SegmentReader`` / the block cache, so the RSEG wire
     formats stay changeable in one place.
+
+L9  no-blocking-io-in-coroutines
+    Inside ``repro/serve/`` coroutine bodies (``async def``), blocking
+    calls — ``time.sleep``, synchronous ``socket.*`` constructors,
+    ``open()``, ``os.fsync`` — stall the event loop and every connected
+    client with it.  Blocking work belongs on an executor thread
+    (``run_in_executor``); nested synchronous ``def`` helpers are
+    exempt because they only run when called, which is on the executor.
 """
 
 from __future__ import annotations
@@ -86,6 +94,8 @@ METRIC_NAMESPACES = (
     "parallel",
     "patchindex",
     "maintenance",
+    "server",
+    "session",
 )
 
 #: Source files allowed to call ``np.frombuffer`` (L8): the two codec
@@ -656,6 +666,71 @@ def check_raw_segment_decode(path: Path, tree: ast.AST) -> list[Finding]:
     return findings
 
 
+# -- L9 ------------------------------------------------------------------------
+
+#: Directory whose coroutines must not block the event loop (L9).
+ASYNC_CHECKED_DIR = "serve"
+
+
+def _blocking_call_name(node: ast.Call) -> str | None:
+    """Dotted name of a blocking call, or None when the call is safe."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "open"
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        owner = func.value.id
+        if owner == "time" and func.attr == "sleep":
+            return "time.sleep"
+        if owner == "socket":
+            return f"socket.{func.attr}"
+        if owner == "os" and func.attr == "fsync":
+            return "os.fsync"
+    return None
+
+
+def _flag_blocking_calls(
+    path: Path, body: list[ast.stmt], findings: list[Finding]
+) -> None:
+    """Flag blocking calls in a coroutine body, skipping nested defs.
+
+    Nested function definitions (sync or async, and lambdas) are
+    skipped: a sync helper only blocks whatever thread eventually calls
+    it, and nested ``async def``\\ s are visited as coroutines of their
+    own by the caller's walk.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            name = _blocking_call_name(node)
+            if name is not None:
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        "L9",
+                        f"blocking call {name}() inside a repro.serve "
+                        "coroutine stalls the event loop; move it to "
+                        "run_in_executor",
+                    )
+                )
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def check_async_blocking_io(path: Path, tree: ast.AST) -> list[Finding]:
+    if ASYNC_CHECKED_DIR not in path.parts:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            _flag_blocking_calls(path, node.body, findings)
+    return findings
+
+
 # -- driver --------------------------------------------------------------------
 
 
@@ -673,6 +748,7 @@ def lint_file(path: Path) -> list[Finding]:
     findings.extend(check_metric_namespaces(path, tree))
     findings.extend(check_explicit_dtype(path, tree))
     findings.extend(check_raw_segment_decode(path, tree))
+    findings.extend(check_async_blocking_io(path, tree))
     findings.extend(check_stale_markers(path))
     return findings
 
