@@ -78,6 +78,7 @@ def connect(
     sync: bool = True,
     cache_bytes: int | None = None,
     encoding: str = "auto",
+    rebuild_threshold: float | None = None,
     timeout: float | None = None,
 ):
     """Open a database — local or remote — from one *target*.
@@ -101,7 +102,11 @@ def connect(
     64 MiB; ``0`` disables it); *encoding* selects the checkpoint
     segment encoding (``"auto"`` = cost-based per-block picker,
     ``"raw"`` = uncompressed); ``sync=False`` skips fsync (benchmarks
-    only).  *parallelism* sets the instance-default degree of
+    only).  *rebuild_threshold* sets the drift ratio past which a
+    PatchIndex is scheduled for a background rebuild (default
+    ``REPRO_REBUILD_THRESHOLD``, else 0.02; local databases only — a
+    server configures its own).  *parallelism* sets the
+    instance-default degree of
     parallelism (``None`` resolves ``REPRO_THREADS`` / the CPU count,
     ``1`` forces serial execution); for a remote target it is applied
     to the server-side session.
@@ -119,10 +124,16 @@ def connect(
     if target is not None:
         text = _os.fspath(target) if not isinstance(target, str) else target
         if text.startswith("repro://"):
-            if mmap or not sync or cache_bytes is not None or encoding != "auto":
+            if (
+                mmap
+                or not sync
+                or cache_bytes is not None
+                or encoding != "auto"
+                or rebuild_threshold is not None
+            ):
                 raise ReproError(
-                    "mmap/sync/cache_bytes/encoding are storage knobs of "
-                    "the server's database, not the client"
+                    "mmap/sync/cache_bytes/encoding/rebuild_threshold are "
+                    "storage knobs of the server's database, not the client"
                 )
             from repro.serve import ServerClient
 
@@ -152,6 +163,7 @@ def connect(
         sync=sync,
         cache_bytes=cache_bytes,
         encoding=encoding,
+        rebuild_threshold=rebuild_threshold,
     )
 
 

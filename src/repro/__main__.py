@@ -50,8 +50,8 @@ _BANNER = (
     "repro — PatchIndex reproduction shell. "
     "End statements with ';'.  \\d describes, \\threads sets "
     "parallelism, \\profile toggles profiling, \\metrics dumps "
-    "metrics, \\cache shows the block cache, \\checkpoint flushes "
-    "durable state, \\q quits."
+    "metrics, \\cache shows the block cache, \\drift shows PatchIndex "
+    "maintenance drift, \\checkpoint flushes durable state, \\q quits."
 )
 
 
@@ -135,6 +135,30 @@ def run_shell(
                 emit(
                     f"  evictions={stats['evictions']} "
                     f"oversized_skips={stats['skip_count']}"
+                )
+            continue
+        if not buffer and stripped == "\\drift":
+            try:
+                report = database.drift_report()
+            except AttributeError:
+                emit("(drift reporting unavailable on this connection)")
+                continue
+            if not report:
+                emit("(no patch indexes)")
+                continue
+            for entry in report:
+                marker = " REBUILD PENDING" if entry["rebuild_pending"] else ""
+                location = (
+                    f" on {entry['table']}({entry['column']})"
+                    if "table" in entry
+                    else ""
+                )
+                emit(
+                    f"{entry['index']}{location}: "
+                    f"drift={entry['drift_rate']:.4f} "
+                    f"threshold={entry['rebuild_threshold']:.4f} "
+                    f"patches={entry['patch_count']} "
+                    f"rebuilds={entry['rebuilds']}{marker}"
                 )
             continue
         if not buffer and stripped == "\\checkpoint":

@@ -275,21 +275,25 @@ class ConstraintAdvisor:
 
     # -- index upkeep ----------------------------------------------------------
 
-    def recommend_rebuilds(self, max_drift: float = 0.02) -> list[str]:
+    def recommend_rebuilds(self, max_drift: float | None = None) -> list[str]:
         """Indexes whose conservative maintenance drifted past *max_drift*.
 
         Incremental maintenance keeps patch sets correct but not
         minimal (see :mod:`repro.core.maintenance`); once the drift — the
         fraction of rows the maintainer demoted — exceeds the threshold,
-        a rebuild restores minimality.
+        a rebuild restores minimality.  *max_drift* defaults to the
+        database's ``maintenance.rebuild_threshold`` knob, so the
+        advisor and the background sweep agree on what "drifted" means.
         """
+        if max_drift is None:
+            max_drift = getattr(self.database, "rebuild_threshold", 0.02)
         return [
             index.name
             for index in self.database.catalog.indexes()
             if index.drift_rate() > max_drift
         ]
 
-    def rebuild_drifted(self, max_drift: float = 0.02) -> list[str]:
+    def rebuild_drifted(self, max_drift: float | None = None) -> list[str]:
         """Rebuild every index past the drift threshold; returns names."""
         names = self.recommend_rebuilds(max_drift)
         for name in names:

@@ -1,4 +1,4 @@
-"""Incremental PatchIndex maintenance under inserts, deletes and updates.
+"""Incremental PatchIndex maintenance under inserts, loads, deletes and updates.
 
 The paper names lightweight support for table mutations as the key
 follow-up feature of PatchIndexes (§VIII): because the index already
@@ -13,6 +13,14 @@ from **minimal**.  Re-creating the index re-establishes minimality; the
 drift is observable through :class:`MaintenanceStats` so a
 self-management tool can schedule a rebuild.
 
+Every handler is a pure *classifier*: it derives a
+:class:`~repro.core.delta.PatchDelta` from the mutation event and
+applies it through the delta layer (:func:`repro.core.delta.apply_ops`)
+— never by mutating patch sets directly.  The owning database logs the
+delta into the WAL (durable engines), so recovery can replay the exact
+same membership changes over checkpoint-persisted patch sets instead of
+rebuilding every index from data.
+
 Policies per event:
 
 **append** (new rows at the end of the last partition)
@@ -25,17 +33,26 @@ Policies per event:
       expected per row using a kept-value hash map built lazily on the
       first mutation.
 
+**load** (bulk rows appended to the tail of every partition)
+    - classified like appends, per partition in rowid order.  A
+      global-scope NSC additionally patches every new row landing in a
+      partition *before* the last one — those rows sit between existing
+      kept rows in global rowid order, so only the final partition's
+      tail can extend the global sorted subsequence.
+
 **delete**
     - patch sets are remapped to the new dense rowid numbering; deleting
       rows never un-sorts a sorted remainder nor un-uniquifies unique
-      values, so no new patches arise.  (A patch value whose duplicates
-      were all deleted could be *promoted* back; we skip promotion —
-      conservative, still correct.)
+      values, so no new patches arise.  Cached kept-value and
+      sorted-tail snapshots are invalidated in one place for both
+      constraint kinds (they rebuild lazily).
 
 **update** (point update of the indexed column)
-    - the updated row joins the patch set; for NUC, a kept row holding
-      the new value is demoted as well (NUC2).  Updates to other columns
-      are ignored.
+    - the updated row is re-classified: it joins the patch set when the
+      new value violates the constraint (for NUC, a kept row holding the
+      same value is demoted as well — NUC2), and a patched NUC row whose
+      new value is fresh is *promoted* back out of the patch set.
+      Updates to other columns are ignored.
 """
 
 from __future__ import annotations
@@ -45,7 +62,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core import delta as delta_layer
 from repro.core.constraints import ConstraintKind
+from repro.core.delta import DeltaOp, PatchDelta
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.patch_index import PatchIndex
@@ -56,17 +75,50 @@ class MaintenanceStats:
     """Counters describing how far the patch set drifted from minimal."""
 
     appends_handled: int = 0
+    loads_handled: int = 0
     deletes_handled: int = 0
     updates_handled: int = 0
     rows_appended: int = 0
     patches_added: int = 0
+    patches_removed: int = 0
     kept_rows_demoted: int = 0
     invalidations: int = 0
     extra: dict = field(default_factory=dict)
 
+    def to_payload(self) -> dict:
+        """JSON form persisted with the checkpointed patch sets."""
+        return {
+            "appends_handled": self.appends_handled,
+            "loads_handled": self.loads_handled,
+            "deletes_handled": self.deletes_handled,
+            "updates_handled": self.updates_handled,
+            "rows_appended": self.rows_appended,
+            "patches_added": self.patches_added,
+            "patches_removed": self.patches_removed,
+            "kept_rows_demoted": self.kept_rows_demoted,
+            "invalidations": self.invalidations,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MaintenanceStats":
+        stats = cls()
+        for name in (
+            "appends_handled",
+            "loads_handled",
+            "deletes_handled",
+            "updates_handled",
+            "rows_appended",
+            "patches_added",
+            "patches_removed",
+            "kept_rows_demoted",
+            "invalidations",
+        ):
+            setattr(stats, name, int(payload.get(name, 0)))
+        return stats
+
 
 class IndexMaintainer:
-    """Applies table mutation events to one PatchIndex."""
+    """Derives and applies PatchDeltas for one index's table mutations."""
 
     def __init__(self, index: "PatchIndex"):
         self.index = index
@@ -77,22 +129,65 @@ class IndexMaintainer:
         self._patch_values: set | None = None
         # NSC state (lazy): per-partition value of the last kept row.
         self._last_kept: list[object] | None = None
+        # Demotions the lazy NUC state build discovered (self-healing a
+        # snapshot taken mid-update); drained into the next delta so the
+        # WAL stream stays complete.
+        self._pending_ops: list[DeltaOp] = []
+        self._pending_demoted = 0
 
     # -- event dispatch ---------------------------------------------------
 
-    def handle(self, event: str, payload: dict) -> None:
+    def handle(self, event: str, payload: dict) -> PatchDelta | None:
+        """Classify one table mutation; apply and return its delta.
+
+        Returns ``None`` for events that do not concern the index (an
+        update of another column, unknown event kinds) — replay expects
+        a logged delta exactly when this returns one.
+        """
         if event == "append":
-            self._handle_append(payload)
-        elif event == "delete":
-            self._handle_delete(payload)
-        elif event == "update":
-            self._handle_update(payload)
+            ops, rows, demoted = self._classify_append(payload)
         elif event == "load":
-            # A bulk load reshapes every partition; cached kept-value /
-            # sorted-tail snapshots are stale, rebuild them lazily.
+            ops, rows, demoted = self._classify_load()
+        elif event == "delete":
+            ops, rows, demoted = self._classify_delete(payload)
+        elif event == "update":
+            if payload["column"] != self.index.column_name:
+                return None
+            ops, rows, demoted = self._classify_update(payload)
+        else:
+            # Unknown events are ignored: forward compatibility with new
+            # table mutations that do not affect constraint validity.
+            return None
+        pending = self._pending_ops
+        pending_demoted = self._pending_demoted
+        self._pending_ops = []
+        self._pending_demoted = 0
+        delta = PatchDelta(
+            index_name=self.index.name,
+            table_name=self.index.table_name,
+            event=event,
+            ops=tuple(pending) + tuple(ops),
+            rows=rows,
+            demoted=demoted + pending_demoted,
+        )
+        self._apply(delta)
+        return delta
+
+    def _apply(self, delta: PatchDelta) -> None:
+        """Apply a classified delta and keep the lazy caches honest."""
+        delta_layer.apply_ops(self.index._partition_patches, delta.ops)
+        delta_layer.record_delta_stats(self.stats, delta)
+        if delta.event == "delete":
+            # Kept-value rowids and sorted tails shifted with the dense
+            # renumbering; both caches rebuild lazily — the one place
+            # that policy lives for both constraint kinds.
             self._invalidate()
-        # Unknown events are ignored: forward compatibility with new
-        # table mutations that do not affect constraint validity.
+
+    def apply_external(self, delta: PatchDelta) -> None:
+        """Apply a replayed delta (recovery / snapshot) with stats."""
+        delta_layer.apply_ops(self.index._partition_patches, delta.ops)
+        delta_layer.record_delta_stats(self.stats, delta)
+        self._invalidate()
 
     # -- lazy state ----------------------------------------------------------
 
@@ -124,19 +219,22 @@ class IndexMaintainer:
                     patch_values.add(value)
         # Kept pass, after all patch values are known: a snapshot taken
         # mid-update may show NUC2 violations, which are self-healed by
-        # demoting the offending kept rows.
+        # queueing demotions for the offending kept rows (the ops ride
+        # along with the next delta, so the WAL stream stays complete).
         for partition, mask in zip(index.table.partitions, masks):
             column = partition.column(index.column_name)
             for local in np.flatnonzero(~mask):
                 value = column[int(local)]
                 global_rowid = partition.base_rowid + int(local)
                 if value in patch_values:
-                    self._demote_global_rowids([global_rowid])
-                    self.stats.kept_rows_demoted += 1
+                    self._pending_ops.extend(self._demote_ops([global_rowid]))
+                    self._pending_demoted += 1
                 elif value in kept:
-                    self._demote_global_rowids([kept.pop(value), global_rowid])
+                    self._pending_ops.extend(
+                        self._demote_ops([kept.pop(value), global_rowid])
+                    )
                     patch_values.add(value)
-                    self.stats.kept_rows_demoted += 2
+                    self._pending_demoted += 2
                 else:
                     kept[value] = global_rowid
         self._kept_value_rowids = kept
@@ -187,39 +285,53 @@ class IndexMaintainer:
 
     # -- append -----------------------------------------------------------------
 
-    def _handle_append(self, payload: dict) -> None:
-        index = self.index
+    def _classify_append(
+        self, payload: dict
+    ) -> tuple[list[DeltaOp], int, int]:
         partition_id = payload["partition_id"]
-        columns = payload["columns"]
+        column = payload["columns"][self.index.column_name]
         row_count = payload["row_count"]
-        column = columns[index.column_name]
+        values = [column[offset] for offset in range(row_count)]
+        return self._classify_tail(partition_id, values, row_count)
+
+    def _classify_tail(
+        self, partition_id: int, values: list, row_count: int
+    ) -> tuple[list[DeltaOp], int, int]:
+        """Classify *values* appended to the tail of one partition."""
+        index = self.index
         patches = index._partition_patches[partition_id]
         old_partition_rows = patches.row_count
         new_partition_rows = old_partition_rows + row_count
         partition_base = index.table.partitions[partition_id].base_rowid
+        ops: list[DeltaOp] = []
+        demoted = 0
 
         if index.constraint_kind == ConstraintKind.SORTED:
             last_kept = self._ensure_nsc_state()
             last = last_kept[partition_id]
             new_local_patches: list[int] = []
-            for offset in range(row_count):
-                value = column[offset]
+            for offset, value in enumerate(values):
                 if value is None or not self._extends(last, value):
                     new_local_patches.append(old_partition_rows + offset)
                 else:
                     last = value
-            last_kept[partition_id] = last
-            patches.extend(
-                new_partition_rows,
-                np.asarray(new_local_patches, dtype=np.int64),
+            if index.scope == "global":
+                # The global tail is shared by every slot (see
+                # _ensure_nsc_state); keep the broadcast in sync.
+                for slot in range(len(last_kept)):
+                    last_kept[slot] = last
+            else:
+                last_kept[partition_id] = last
+            ops.append(
+                delta_layer.extend_op(
+                    partition_id, new_partition_rows, new_local_patches
+                )
             )
-            self.stats.patches_added += len(new_local_patches)
         else:
             kept_value_rowids, patch_values = self._ensure_nuc_state()
-            new_local_patches: list[int] = []
+            new_local_patches = []
             demoted_global: list[int] = []
-            for offset in range(row_count):
-                value = column[offset]
+            for offset, value in enumerate(values):
                 local = old_partition_rows + offset
                 global_rowid = partition_base + local
                 if value is None:
@@ -233,16 +345,14 @@ class IndexMaintainer:
                     new_local_patches.append(local)
                 else:
                     kept_value_rowids[value] = global_rowid
-            patches.extend(
-                new_partition_rows,
-                np.asarray(new_local_patches, dtype=np.int64),
+            ops.append(
+                delta_layer.extend_op(
+                    partition_id, new_partition_rows, new_local_patches
+                )
             )
-            self._demote_global_rowids(demoted_global)
-            self.stats.patches_added += len(new_local_patches) + len(demoted_global)
-            self.stats.kept_rows_demoted += len(demoted_global)
-
-        self.stats.appends_handled += 1
-        self.stats.rows_appended += row_count
+            ops.extend(self._demote_ops(demoted_global))
+            demoted = len(demoted_global)
+        return ops, row_count, demoted
 
     def _extends(self, last: object, value: object) -> bool:
         """Does *value* extend the sorted tail ending at *last*?"""
@@ -252,39 +362,94 @@ class IndexMaintainer:
             return last < value if self.index.strict else last <= value
         return last > value if self.index.strict else last >= value
 
-    def _demote_global_rowids(self, rowids: list[int]) -> None:
-        """Move previously-kept rows (global rowids) into the patch sets."""
-        if not rowids:
-            return
-        index = self.index
+    def _demote_ops(self, rowids: list[int]) -> list[DeltaOp]:
+        """Ops moving previously-kept rows (global rowids) into patches."""
+        ops: list[DeltaOp] = []
         for global_rowid in rowids:
-            partition = index.table.partition_of_rowid(global_rowid)
-            patches = index._partition_patches[partition.partition_id]
-            patches.add(
-                np.asarray([global_rowid - partition.base_rowid], dtype=np.int64)
+            partition = self.index.table.partition_of_rowid(global_rowid)
+            ops.append(
+                delta_layer.add_op(
+                    partition.partition_id,
+                    [global_rowid - partition.base_rowid],
+                )
             )
+        return ops
+
+    # -- load --------------------------------------------------------------------
+
+    def _classify_load(self) -> tuple[list[DeltaOp], int, int]:
+        """Classify the freshly-loaded tail of every partition.
+
+        The load payload does not say which partition received which
+        rows, but each patch set remembers the row count it has already
+        accounted for — everything beyond it in the partition is the
+        loaded tail.  A global-scope NSC can only extend its sorted
+        subsequence in the *last* partition: rows loaded into earlier
+        partitions sit between existing kept rows in global rowid order
+        and are patched wholesale (conservative, still correct).
+        """
+        index = self.index
+        # Loading into any partition but the last shifts the base rowids
+        # of the partitions after it, so cached kept-value maps (keyed by
+        # global rowid) and tail snapshots are stale; rebuild them lazily
+        # over the pre-load rows, which keep their local positions.
+        self._invalidate()
+        ops: list[DeltaOp] = []
+        rows = 0
+        demoted = 0
+        global_nsc = (
+            index.constraint_kind == ConstraintKind.SORTED
+            and index.scope == "global"
+        )
+        last_partition = len(index.table.partitions) - 1
+        for partition, patches in zip(
+            index.table.partitions, index._partition_patches
+        ):
+            old_rows = patches.row_count
+            new_rows = partition.row_count
+            if new_rows == old_rows:
+                continue
+            tail = partition.column(index.column_name)
+            values = [tail[offset] for offset in range(old_rows, new_rows)]
+            if global_nsc and partition.partition_id != last_partition:
+                self._ensure_nsc_state()  # keep the tail snapshot warm
+                ops.append(
+                    delta_layer.extend_op(
+                        partition.partition_id,
+                        new_rows,
+                        range(old_rows, new_rows),
+                    )
+                )
+                rows += len(values)
+            else:
+                tail_ops, tail_rows, tail_demoted = self._classify_tail(
+                    partition.partition_id, values, len(values)
+                )
+                ops.extend(tail_ops)
+                rows += tail_rows
+                demoted += tail_demoted
+        return ops, rows, demoted
 
     # -- delete ---------------------------------------------------------------------
 
-    def _handle_delete(self, payload: dict) -> None:
-        index = self.index
+    def _classify_delete(
+        self, payload: dict
+    ) -> tuple[list[DeltaOp], int, int]:
+        ops: list[DeltaOp] = []
+        rows = 0
         for partition_id, local_deleted in payload["per_partition"]:
             if len(local_deleted) == 0:
                 continue
-            index._partition_patches[partition_id].remap_after_delete(
-                np.asarray(local_deleted, dtype=np.int64)
-            )
-        # Kept-value rowids and sorted tails may have shifted; rebuild on
-        # the next mutation that needs them.
-        self._invalidate()
-        self.stats.deletes_handled += 1
+            ops.append(delta_layer.remap_op(partition_id, local_deleted))
+            rows += len(local_deleted)
+        return ops, rows, 0
 
     # -- update ----------------------------------------------------------------------
 
-    def _handle_update(self, payload: dict) -> None:
+    def _classify_update(
+        self, payload: dict
+    ) -> tuple[list[DeltaOp], int, int]:
         index = self.index
-        if payload["column"] != index.column_name:
-            return
         rowid = payload["rowid"]
         partition = index.table.partitions[payload["partition_id"]]
         patches = index._partition_patches[partition.partition_id]
@@ -292,17 +457,39 @@ class IndexMaintainer:
         was_patch = patches.contains(local)
         new_value = payload["value"]
         old_value = payload["old_value"]
+        ops: list[DeltaOp] = []
+        demoted = 0
 
         if index.constraint_kind == ConstraintKind.UNIQUE:
             kept_value_rowids, patch_values = self._ensure_nuc_state()
             if not was_patch and kept_value_rowids.get(old_value) == rowid:
                 del kept_value_rowids[old_value]
-            if new_value is not None:
-                twin = kept_value_rowids.pop(new_value, None)
+            if new_value is None or new_value in patch_values:
+                if not was_patch:
+                    ops.append(delta_layer.add_op(partition.partition_id, [local]))
+                if new_value is not None:
+                    patch_values.add(new_value)
+            else:
+                twin = kept_value_rowids.get(new_value)
                 if twin is not None and twin != rowid:
-                    self._demote_global_rowids([twin])
-                    self.stats.kept_rows_demoted += 1
-                patch_values.add(new_value)
+                    # NUC2: demote the kept row already holding the value.
+                    del kept_value_rowids[new_value]
+                    ops.extend(self._demote_ops([twin]))
+                    demoted += 1
+                    patch_values.add(new_value)
+                    if not was_patch:
+                        ops.append(
+                            delta_layer.add_op(partition.partition_id, [local])
+                        )
+                elif was_patch:
+                    # Fresh value: the patched row is unique again —
+                    # promote it back out of the patch set.
+                    ops.append(
+                        delta_layer.remove_op(partition.partition_id, [local])
+                    )
+                    kept_value_rowids[new_value] = rowid
+                else:
+                    kept_value_rowids[new_value] = rowid
         else:
             if not was_patch:
                 # The updated row leaves the sorted subsequence; any
@@ -310,8 +497,5 @@ class IndexMaintainer:
                 # have been built after the new value was written), so
                 # recompute lazily once the row is in the patch set.
                 self._last_kept = None
-
-        if not was_patch:
-            patches.add(np.asarray([local], dtype=np.int64))
-            self.stats.patches_added += 1
-        self.stats.updates_handled += 1
+                ops.append(delta_layer.add_op(partition.partition_id, [local]))
+        return ops, 1, demoted

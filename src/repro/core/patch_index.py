@@ -107,6 +107,15 @@ class PatchIndex:
         #: verifier uses it to enforce the 1/64 crossover contract.
         self.mode = mode
         self.rebuild_count = 0
+        #: Set past the drift threshold by the owning database; a
+        #: background sweep (:meth:`Database.run_pending_rebuilds`, the
+        #: server's writer loop) rebuilds and clears it.
+        self.rebuild_pending = False
+        #: Callable ``(index, delta)`` observing every applied
+        #: :class:`~repro.core.delta.PatchDelta` — the owning database
+        #: wires this to log deltas into the WAL and feed drift gauges.
+        #: ``None`` for detached indexes (snapshots, tests).
+        self.delta_sink = None
         self._partition_patches = partition_patches
         self._maintainer = None  # lazily built by repro.core.maintenance
         self._listener = self._on_table_event
@@ -356,7 +365,14 @@ class PatchIndex:
 
     def rebuild(self) -> None:
         """Re-run discovery to restore a minimal patch set (and the
-        design choice), discarding maintenance drift."""
+        design choice), discarding maintenance drift.
+
+        Emits an ``invalidate`` :class:`~repro.core.delta.PatchDelta`
+        through the sink: the logged delta stream no longer describes
+        the rebuilt patch sets, so WAL replay encountering the marker
+        falls back to the paper's rebuild-from-data recovery.
+        """
+        from repro.core.delta import PatchDelta, invalidate_op
         from repro.core.discovery import discover
         from repro.core.patches import PatchSet
 
@@ -378,6 +394,35 @@ class PatchIndex:
         self._maintainer = None
         self.mode = PatchIndexMode.AUTO
         self.rebuild_count += 1
+        self.rebuild_pending = False
+        if self.delta_sink is not None:
+            self.delta_sink(
+                self,
+                PatchDelta(
+                    index_name=self.name,
+                    table_name=self.table_name,
+                    event="rebuild",
+                    ops=(invalidate_op(),),
+                ),
+            )
+
+    def apply_external_delta(self, delta) -> None:
+        """Replay one :class:`~repro.core.delta.PatchDelta` produced
+        elsewhere (WAL recovery, snapshot advance) onto this index,
+        folding it into the maintenance stats."""
+        from repro.core.maintenance import IndexMaintainer
+
+        if self._maintainer is None:
+            self._maintainer = IndexMaintainer(self)
+        self._maintainer.apply_external(delta)
+
+    def seed_maintenance_stats(self, stats) -> None:
+        """Install persisted drift counters on a restored index."""
+        from repro.core.maintenance import IndexMaintainer
+
+        if self._maintainer is None:
+            self._maintainer = IndexMaintainer(self)
+        self._maintainer.stats = stats
 
     def _on_table_event(self, event: str, payload: dict) -> None:
         """Forward table mutations to the incremental maintainer."""
@@ -385,7 +430,9 @@ class PatchIndex:
 
         if self._maintainer is None:
             self._maintainer = IndexMaintainer(self)
-        self._maintainer.handle(event, payload)
+        delta = self._maintainer.handle(event, payload)
+        if delta is not None and self.delta_sink is not None:
+            self.delta_sink(self, delta)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PatchIndex({self.describe()})"

@@ -100,6 +100,14 @@ class PatchSet(abc.ABC):
         """Mark existing rowids as patches (update path)."""
 
     @abc.abstractmethod
+    def remove(self, rowids: np.ndarray) -> None:
+        """Promote rowids out of the patch set (update re-classification).
+
+        Rowids not currently patched are ignored; the relation size is
+        unchanged.
+        """
+
+    @abc.abstractmethod
     def remap_after_delete(self, deleted: np.ndarray) -> None:
         """Remove deleted rowids and renumber survivors densely.
 
@@ -211,6 +219,12 @@ class IdentifierPatches(PatchSet):
         rowids = np.asarray(rowids, dtype=np.int64)
         merged = np.union1d(self._rowids, rowids)
         self._rowids = _check_sorted_rowids(merged, self.row_count)
+
+    def remove(self, rowids: np.ndarray) -> None:
+        rowids = np.asarray(rowids, dtype=np.int64)
+        if len(rowids) == 0:
+            return
+        self._rowids = self._rowids[~np.isin(self._rowids, rowids)]
 
     def remap_after_delete(self, deleted: np.ndarray) -> None:
         deleted = np.asarray(deleted, dtype=np.int64)
@@ -324,6 +338,21 @@ class BitmapPatches(PatchSet):
         )
         # Input may repeat rowids or re-mark existing patches; recount
         # lazily on the next patch_count() call.
+        self._patch_count = None
+
+    def remove(self, rowids: np.ndarray) -> None:
+        rowids = np.asarray(rowids, dtype=np.int64)
+        if len(rowids) == 0:
+            return
+        if rowids.min() < 0 or rowids.max() >= self.row_count:
+            raise StorageError("remove rowid out of range")
+        np.bitwise_and.at(
+            self._bits,
+            rowids >> 3,
+            np.invert(
+                np.left_shift(np.uint8(1), (rowids & 7).astype(np.uint8))
+            ),
+        )
         self._patch_count = None
 
     def remap_after_delete(self, deleted: np.ndarray) -> None:

@@ -369,6 +369,14 @@ def _instrument_tree(
         node.details["mode"] = operator.mode.value
         node.details["index"] = operator.index.name
         node.details["design"] = operator.index.design
+        # Maintenance drift as of execution: how far conservative
+        # incremental maintenance has grown this index's patch sets
+        # past minimal, and whether a background rebuild is queued.
+        # Rendered as a string — numeric details sum across parallel
+        # fragments in _merge_nodes, and drift is a property, not a count.
+        node.details["drift_rate"] = f"{operator.index.drift_rate():.4f}"
+        if getattr(operator.index, "rebuild_pending", False):
+            node.details["rebuild_pending"] = True
     elif isinstance(operator, TableScan):
         node.details["table"] = operator.table.name
         node.details["table_rows"] = operator.table.row_count

@@ -197,6 +197,11 @@ class ReproServer:
                     ):
                         run_one(batch[position])
                         position += 1
+                    # Drift-triggered background rebuilds run on the
+                    # writer thread between client statements, inside
+                    # the same group-commit scope so the rebuild's
+                    # invalidate delta rides the batch fsync.
+                    self.database.run_pending_rebuilds()
             else:
                 run_one(batch[position])
                 position += 1

@@ -6,10 +6,17 @@ This is the top-level object users interact with.  It owns the
 the optimizer and the executor together.
 
 Recovery follows the paper's design (§V): the WAL records *that* a
-PatchIndex exists (name, table, column, kind, mode, threshold) but not
-its patches; replay re-runs discovery against the table data.  Two
-durability modes exist, selected at construction through the storage
-engine seam (:mod:`repro.storage.engine`):
+PatchIndex exists (name, table, column, kind, mode, threshold), and —
+since the delta layer (:mod:`repro.core.delta`) — the checksummed
+``patch_delta`` each maintained mutation produced.  Durable recovery
+restores indexes from checkpoint-persisted patch sets plus that delta
+tail and only re-runs discovery against the table data as the fallback.
+The database is also where deltas meet self-management: every applied
+delta flows through :meth:`Database._on_patch_delta`, which logs it,
+feeds the per-index drift gauge, and schedules a background rebuild
+once drift exceeds ``rebuild_threshold``.  Two durability modes exist,
+selected at construction through the storage engine seam
+(:mod:`repro.storage.engine`):
 
 - in-memory (the default): row data is volatile and the optional WAL
   covers metadata only; :meth:`Database.recover` accepts per-table data
@@ -42,6 +49,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.storage.snapshot import SnapshotView
 
 DataLoader = Callable[[Table], None]
+
+#: Default drift ratio (patches added by maintenance / table rows) past
+#: which a PatchIndex is scheduled for a background rebuild.
+DEFAULT_REBUILD_THRESHOLD = 0.02
+
+
+def _resolve_rebuild_threshold(value: float | None) -> float:
+    """Explicit knob, else ``REPRO_REBUILD_THRESHOLD``, else 0.02."""
+    if value is None:
+        raw = os.environ.get("REPRO_REBUILD_THRESHOLD")
+        if raw is None:
+            return DEFAULT_REBUILD_THRESHOLD
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise StorageError(
+                f"REPRO_REBUILD_THRESHOLD must be a float, got {raw!r}"
+            ) from exc
+    if value <= 0:
+        raise StorageError(
+            f"rebuild_threshold must be positive, got {value!r}"
+        )
+    return float(value)
 
 
 def schema_to_payload(schema: Schema) -> list[dict]:
@@ -84,6 +114,7 @@ class Database:
         sync: bool = True,
         cache_bytes: int | None = None,
         encoding: str = "auto",
+        rebuild_threshold: float | None = None,
     ):
         """Open a database.
 
@@ -99,7 +130,10 @@ class Database:
         ``REPRO_CACHE_BYTES`` environment variable, else 64 MiB; ``0``
         disables caching) and *encoding* picks the segment encoding
         written at checkpoint (``"auto"`` = per-block cost-based picker,
-        ``"raw"`` = uncompressed blocks).
+        ``"raw"`` = uncompressed blocks).  *rebuild_threshold* is the
+        ``maintenance.rebuild_threshold`` knob: the drift ratio past
+        which an index is scheduled for a background rebuild (default
+        ``REPRO_REBUILD_THRESHOLD``, else 0.02).
         """
         from repro.storage.engine import DurableEngine, MemoryEngine
 
@@ -121,6 +155,13 @@ class Database:
         #: True while WAL replay re-applies records (suppresses
         #: re-logging of the mutations the replay itself performs).
         self._replaying = False
+        #: Drift ratio past which :meth:`_on_patch_delta` marks an index
+        #: ``rebuild_pending`` (the ``maintenance.rebuild_threshold`` knob).
+        self.rebuild_threshold = _resolve_rebuild_threshold(rebuild_threshold)
+        #: LSN of the data record the engine just logged for the current
+        #: table mutation; patch deltas derived from that mutation link
+        #: to it via ``applies_to``.  None outside a logged mutation.
+        self._last_data_lsn = None
         self._init_observability()
         if path is not None:
             self.engine = DurableEngine(
@@ -238,8 +279,77 @@ class Database:
             self.obs.counter("maintenance.deletes").inc()
         elif event == "update":
             self.obs.counter("maintenance.updates").inc()
+        self._last_data_lsn = None
         if not self._replaying:
             self.engine.table_event(self, event, payload)
+            if self.engine.logs_data:
+                # This listener runs before any index listener (it is
+                # registered first in _install_table), so the deltas the
+                # indexes are about to emit link to this data record.
+                self._last_data_lsn = self.wal.last_lsn
+
+    def _on_patch_delta(self, index: "PatchIndex", delta) -> None:
+        """Sink for every applied :class:`~repro.core.delta.PatchDelta`.
+
+        Logs the delta as a ``patch_delta`` WAL record (durable engines,
+        outside replay) linked via ``applies_to`` to the data record of
+        the mutation that produced it — rebuild-event deltas carry
+        ``applies_to=None``; they only mark the stream invalid.  Feeds
+        the per-index drift gauge and schedules a background rebuild
+        (``rebuild_pending``) once drift exceeds
+        :attr:`rebuild_threshold`.
+        """
+        if self.engine.logs_data and not self._replaying:
+            applies_to = (
+                None if delta.event == "rebuild" else self._last_data_lsn
+            )
+            self.wal.append("patch_delta", delta.to_payload(applies_to))
+        self.obs.counter("maintenance.deltas").inc()
+        self.obs.counter("maintenance.delta_ops").inc(len(delta.ops))
+        drift = index.drift_rate()
+        self.obs.gauge(f"patchindex.{index.name}.drift_rate").set(drift)
+        if (
+            delta.event != "rebuild"
+            and not index.rebuild_pending
+            and drift > self.rebuild_threshold
+        ):
+            index.rebuild_pending = True
+            self.obs.counter("maintenance.rebuilds_scheduled").inc()
+
+    def run_pending_rebuilds(self) -> int:
+        """Rebuild every index maintenance drift marked for it.
+
+        The background half of drift-triggered self-management: the
+        delta sink marks indexes past :attr:`rebuild_threshold`, and
+        this sweep — called by the server's writer loop between batches,
+        or directly — re-runs discovery on them.  Returns the number of
+        indexes rebuilt.
+        """
+        ran = 0
+        for index in self.catalog.indexes():
+            if index.rebuild_pending:
+                index.rebuild()
+                self.obs.counter("maintenance.rebuilds_run").inc()
+                ran += 1
+        return ran
+
+    def drift_report(self) -> list[dict]:
+        """Per-index drift summary (the REPL's ``\\drift`` command)."""
+        report = []
+        for index in self.catalog.indexes():
+            report.append(
+                {
+                    "index": index.name,
+                    "table": index.table_name,
+                    "column": index.column_name,
+                    "patch_count": index.patch_count,
+                    "drift_rate": index.drift_rate(),
+                    "rebuild_threshold": self.rebuild_threshold,
+                    "rebuild_pending": index.rebuild_pending,
+                    "rebuilds": index.rebuild_count,
+                }
+            )
+        return report
 
     # -- table DDL ----------------------------------------------------------
 
@@ -339,6 +449,7 @@ class Database:
             enforce_threshold=_enforce_threshold,
         )
         self.catalog.add_index(index)
+        index.delta_sink = self._on_patch_delta
         if _log:
             self.wal.append(
                 "create_index",
@@ -480,6 +591,9 @@ class Database:
                 )
                 self.obs.gauge(f"{prefix}.rebuilds").set(index.rebuild_count)
                 self.obs.gauge(f"{prefix}.drift_rate").set(index.drift_rate())
+                self.obs.gauge(f"{prefix}.rebuild_pending").set(
+                    1.0 if index.rebuild_pending else 0.0
+                )
                 stats = index.maintenance_stats()
                 if stats is not None:
                     self.obs.gauge(f"{prefix}.patches_added").set(
@@ -488,6 +602,9 @@ class Database:
                     self.obs.gauge(f"{prefix}.invalidations").set(
                         stats.invalidations
                     )
+        self.obs.gauge("maintenance.rebuild_threshold").set(
+            self.rebuild_threshold
+        )
         cache_stats = self.engine.cache_stats()
         if cache_stats is not None:
             self.obs.gauge("cache.bytes").set(cache_stats["bytes"])
@@ -524,6 +641,8 @@ class Database:
         database.catalog = Catalog()
         database.parallelism = None
         database._replaying = False
+        database.rebuild_threshold = _resolve_rebuild_threshold(None)
+        database._last_data_lsn = None
         database._init_observability()
         database.engine = MemoryEngine()
         database.wal = WriteAheadLog(wal_path, metrics=database.obs)

@@ -19,11 +19,15 @@ only.  :class:`DurableEngine` manages a *data directory*::
         <table>/p<k>.<col>.seg  segment files per checkpoint
 
 Checkpoint flushes every column of every partition into a fresh segment
-generation, installs the manifest atomically, writes a ``checkpoint``
-marker and compacts the WAL; recovery loads the manifest, replays the
-WAL tail beyond the checkpoint LSN, and *re-discovers* every PatchIndex
-from the recovered data — patches are never logged, exactly the slim-WAL
-recovery path of paper §V.
+generation — plus the materialized patch sets of every PatchIndex into
+the generation's ``patches.json`` — installs the manifest atomically,
+writes a ``checkpoint`` marker and compacts the WAL.  Recovery loads the
+manifest, replays the WAL tail beyond the checkpoint LSN, and then
+*restores* each index from its persisted patch sets by replaying the
+``patch_delta`` tail over them; any index whose persisted state or delta
+chain is absent, corrupt or gapped falls back to re-discovery from the
+recovered data — exactly the slim-WAL recovery path of paper §V, now as
+the safety net rather than the only path.
 
 The seam leaves query execution untouched: segment-backed columns are
 plain (optionally memory-mapped) NumPy arrays inside the same
@@ -34,6 +38,7 @@ invariants (§VI-A1) work unchanged.
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
 import threading
@@ -64,6 +69,7 @@ from repro.storage.snapshot import SnapshotHandle
 from repro.storage.table import Table
 from repro.storage.wal import (
     DATA_KINDS,
+    PATCH_KINDS,
     WalRecord,
     WriteAheadLog,
     live_records_of,
@@ -76,6 +82,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 WAL_NAME = "wal.jsonl"
 SEGMENTS_DIR = "segments"
+PATCHES_NAME = "patches.json"
 
 
 # -- data-record (de)serialization ------------------------------------------
@@ -104,6 +111,155 @@ def scalar_to_jsonable(value: object, dtype: DataType) -> object:
     if isinstance(coerced, np.generic):  # pragma: no cover - defensive
         return coerced.item()
     return coerced
+
+
+# -- persisted patch sets ----------------------------------------------------
+
+
+def persisted_index_entry(index) -> dict:
+    """Checksummed ``patches.json`` entry for one PatchIndex.
+
+    Captures everything a restore needs without touching table data: the
+    definition (to match against the WAL ``create_index`` record), the
+    physical design, the rebuild count, the drift counters and the
+    materialized per-partition patch sets as of the checkpoint.
+    """
+    from repro.core.delta import delta_checksum
+
+    stats = index.maintenance_stats()
+    body = {
+        "definition": {
+            "name": index.name,
+            "table": index.table_name,
+            "column": index.column_name,
+            "kind": index.kind,
+            "mode": index.mode.value if index.mode is not None else None,
+            "threshold": index.threshold,
+            "scope": index.scope,
+            "ascending": index.ascending,
+            "strict": index.strict,
+        },
+        "design": index.design,
+        "rebuild_count": index.rebuild_count,
+        "stats": stats.to_payload() if stats is not None else None,
+        "partitions": [
+            {
+                "row_count": index.partition_patches(pid).row_count,
+                "rowids": index.partition_patches(pid).rowids().tolist(),
+            }
+            for pid in range(index.table.partition_count)
+        ],
+    }
+    body["checksum"] = delta_checksum(body)
+    return body
+
+
+def restore_patch_index(
+    table: Table,
+    payload: dict,
+    entry: dict,
+    delta_records: list[WalRecord],
+    required_lsns: set[int],
+    provenance: str,
+):
+    """Restore one PatchIndex from a persisted entry plus its delta tail.
+
+    *payload* is the WAL ``create_index`` record, *entry* the matching
+    ``patches.json`` entry, *delta_records* the index's ``patch_delta``
+    records beyond the checkpoint in LSN order, and *required_lsns* the
+    LSNs of every post-checkpoint data record that must have produced a
+    delta (all appends/loads/deletes of the table, updates of the
+    indexed column).  Returns ``(index, deltas_replayed)`` on success or
+    ``(None, 0)`` when anything disqualifies the restore — checksum
+    mismatch, definition drift, a missing or corrupt delta, an
+    ``invalidate`` marker, or a final patch-set/partition row-count
+    disagreement — in which case the caller falls back to the paper's
+    rebuild-from-data path.
+    """
+    from repro.core.constraints import ConstraintKind
+    from repro.core.delta import PatchDelta, delta_checksum
+    from repro.core.maintenance import MaintenanceStats
+    from repro.core.patch_index import PatchIndex, PatchIndexMode
+    from repro.core.patches import PatchSet
+
+    index = None
+    try:
+        body = {key: value for key, value in entry.items() if key != "checksum"}
+        if entry.get("checksum") != delta_checksum(body):
+            return None, 0
+        definition = entry.get("definition", {})
+        expected = {
+            "name": payload["name"],
+            "table": payload["table"],
+            "column": payload["column"],
+            "kind": payload["kind"],
+            "threshold": float(payload.get("threshold", 1.0)),
+            "scope": payload.get("scope", "global"),
+            "ascending": bool(payload.get("ascending", True)),
+            "strict": bool(payload.get("strict", False)),
+        }
+        for key, value in expected.items():
+            if definition.get(key) != value:
+                return None, 0
+        deltas: list[PatchDelta] = []
+        seen_lsns: set[int] = set()
+        for record in delta_records:
+            delta, applies_to = PatchDelta.from_payload(record.payload)
+            if delta.invalidates:
+                return None, 0
+            deltas.append(delta)
+            if applies_to is not None:
+                seen_lsns.add(applies_to)
+        if required_lsns - seen_lsns:
+            return None, 0
+        partitions = entry["partitions"]
+        if len(partitions) != table.partition_count:
+            return None, 0
+        patch_sets = [
+            PatchSet.build(
+                np.asarray(part["rowids"], dtype=np.int64),
+                int(part["row_count"]),
+                entry["design"],
+            )
+            for part in partitions
+        ]
+        # The live index may legitimately carry a different mode than its
+        # create record (a rebuild re-resolves AUTO); the persisted
+        # definition records the live mode as of the checkpoint.
+        mode = definition.get("mode")
+        index = PatchIndex(
+            payload["name"],
+            table,
+            payload["column"],
+            ConstraintKind.from_name(payload["kind"]),
+            patch_sets,
+            expected["threshold"],
+            ascending=expected["ascending"],
+            strict=expected["strict"],
+            scope=expected["scope"],
+            provenance=provenance,
+            mode=PatchIndexMode(mode) if mode is not None else None,
+        )
+        index.rebuild_count = int(entry.get("rebuild_count", 0))
+        if entry.get("stats") is not None:
+            index.seed_maintenance_stats(
+                MaintenanceStats.from_payload(entry["stats"])
+            )
+        for delta in deltas:
+            index.apply_external_delta(delta)
+        for partition in table.partitions:
+            patches = index.partition_patches(partition.partition_id)
+            if patches.row_count != partition.row_count:
+                raise StorageError(
+                    f"restored patch set of {index.name!r} covers "
+                    f"{patches.row_count} rows, partition "
+                    f"{partition.partition_id} holds {partition.row_count}"
+                )
+    except (StorageError, KeyError, TypeError, ValueError):
+        if index is not None:
+            index.detach()
+        return None, 0
+    return index, len(deltas)
 
 
 # -- the seam ----------------------------------------------------------------
@@ -457,12 +613,15 @@ class DurableEngine(StorageEngine):
             database.obs.gauge(f"storage.{table.name}.encoded_ratio").set(
                 self._encoded_ratios[table.name]
             )
+        patches_path = self._write_patch_sets(database, generation, lsn)
         # The flip — manifest install, WAL marker + compaction, old-
         # generation GC — happens under the snapshot lock so a reader
         # pinning concurrently sees either entirely the old or entirely
         # the new generation, never a torn mix (the slow segment writes
         # above ran outside the lock into the not-yet-visible directory).
-        manifest = Manifest(checkpoint_lsn=lsn, tables=tables)
+        manifest = Manifest(
+            checkpoint_lsn=lsn, tables=tables, patches=patches_path
+        )
         with self._snapshot_lock:
             write_manifest(self.root, manifest, sync=self.sync)
             self._current_manifest = manifest
@@ -484,6 +643,51 @@ class DurableEngine(StorageEngine):
             "wal_pruned": pruned,
             "table_details": table_details,
         }
+
+    def _write_patch_sets(
+        self, database: "Database", generation: str, lsn: int
+    ) -> str:
+        """Materialize every index's patch sets into the generation dir.
+
+        Runs outside the snapshot lock (into the not-yet-visible
+        generation directory, like the segment writes); the manifest's
+        ``patches`` pointer makes the file reachable only at the flip.
+        With the patch sets persisted per checkpoint, recovery and
+        snapshot reconstruction replay the ``patch_delta`` tail instead
+        of re-discovering non-drifted indexes from data.
+        """
+        entries: dict[str, dict] = {}
+        for table in database.catalog.tables():
+            for index in database.catalog.indexes_on(table.name):
+                entries[index.name] = persisted_index_entry(index)
+        relative = f"{SEGMENTS_DIR}/{generation}/{PATCHES_NAME}"
+        path = self.root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"checkpoint_lsn": lsn, "indexes": entries}, handle)
+            handle.write("\n")
+            handle.flush()
+            if self.sync:
+                os.fsync(handle.fileno())
+        return relative
+
+    def _load_persisted_patches(self, manifest: Manifest | None) -> dict:
+        """Per-index ``patches.json`` entries, or ``{}`` when unusable.
+
+        A missing or unreadable file degrades every index to the
+        rebuild-from-data fallback rather than failing recovery: the
+        persisted patch sets are an optimization, never a correctness
+        requirement.
+        """
+        if manifest is None or manifest.patches is None:
+            return {}
+        path = self.root / manifest.patches
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        indexes = raw.get("indexes") if isinstance(raw, dict) else None
+        return dict(indexes) if isinstance(indexes, dict) else {}
 
     def _collect_old_generations(self, current: str) -> None:
         """Remove superseded segment generations; defer pinned ones.
@@ -510,7 +714,17 @@ class DurableEngine(StorageEngine):
     # -- recovery ---------------------------------------------------------
 
     def recover(self, database: "Database") -> None:
-        """Manifest load → WAL tail replay → PatchIndex re-discovery."""
+        """Manifest load → WAL tail replay → PatchIndex restore/rebuild.
+
+        Table recovery is unchanged: segments plus the data tail.  Each
+        index is then *restored* — persisted patch sets of the
+        checkpoint generation with the ``patch_delta`` tail replayed on
+        top (:func:`restore_patch_index`) — and only falls back to the
+        paper's rebuild-from-data discovery when the persisted state or
+        delta chain is unusable.  ``recovery.indexes_restored`` vs
+        ``recovery.indexes_rebuilt`` gauges report which path each index
+        took.
+        """
         started = time.perf_counter()
         manifest = read_manifest(self.root)
         self._current_manifest = manifest
@@ -534,6 +748,10 @@ class DurableEngine(StorageEngine):
 
         replayed = 0
         index_records: list[WalRecord] = []
+        patch_records: dict[str, list[WalRecord]] = {}
+        # (table, kind, updated column, lsn) of every replayed data
+        # record — the gap-detection input for index restores.
+        data_tail: list[tuple[str, str, str | None, int]] = []
         database._replaying = True
         try:
             for record in database.wal.live_records():
@@ -554,6 +772,15 @@ class DurableEngine(StorageEngine):
                     database._install_table(table)
                 elif record.kind == "create_index":
                     index_records.append(record)
+                elif record.kind in PATCH_KINDS:
+                    if (
+                        checkpoint_lsn is not None
+                        and record.lsn <= checkpoint_lsn
+                    ):
+                        continue  # reflected in the persisted patch sets
+                    patch_records.setdefault(
+                        record.payload.get("index"), []
+                    ).append(record)
                 elif record.kind in DATA_KINDS:
                     if (
                         checkpoint_lsn is not None
@@ -561,14 +788,54 @@ class DurableEngine(StorageEngine):
                     ):
                         continue  # already flushed into segments
                     self._apply_data_record(database, record)
+                    data_tail.append(
+                        (
+                            record.payload["table"],
+                            record.kind,
+                            record.payload.get("column"),
+                            record.lsn,
+                        )
+                    )
                     replayed += 1
+            persisted = self._load_persisted_patches(manifest)
             rebuilt = 0
+            restored = 0
+            deltas_replayed = 0
             for record in index_records:
                 payload = record.payload
                 if not database.catalog.has_table(payload["table"]):
                     raise WalError(
                         f"index {payload['name']!r} references missing table"
                     )
+                index = None
+                entry = persisted.get(payload["name"])
+                if (
+                    entry is not None
+                    and checkpoint_lsn is not None
+                    and record.lsn <= checkpoint_lsn
+                ):
+                    required = {
+                        lsn
+                        for tbl, kind, column, lsn in data_tail
+                        if tbl == payload["table"]
+                        and (
+                            kind != "update" or column == payload["column"]
+                        )
+                    }
+                    index, count = restore_patch_index(
+                        database.catalog.table(payload["table"]),
+                        payload,
+                        entry,
+                        patch_records.get(payload["name"], []),
+                        required,
+                        provenance="recovery",
+                    )
+                    deltas_replayed += count
+                if index is not None:
+                    database.catalog.add_index(index)
+                    index.delta_sink = database._on_patch_delta
+                    restored += 1
+                    continue
                 # Rebuild from data via discovery — the threshold was
                 # enforced at creation time; recovery must not fail just
                 # because maintenance drifted the column past it since.
@@ -594,6 +861,10 @@ class DurableEngine(StorageEngine):
         database.obs.histogram("recovery.seconds").observe(elapsed)
         database.obs.gauge("recovery.replayed_records").set(replayed)
         database.obs.gauge("recovery.indexes_rebuilt").set(rebuilt)
+        database.obs.gauge("recovery.indexes_restored").set(restored)
+        database.obs.gauge("recovery.delta_records_replayed").set(
+            deltas_replayed
+        )
 
     def attach_tables(
         self, expected_lsn: int | None = None
@@ -706,6 +977,8 @@ class DurableEngine(StorageEngine):
             key = (generation_lsn, wal_lsn)
             handle = self._snapshots.get(key)
             if handle is None:
+                handle = self._advance_snapshot(wal, generation_lsn, wal_lsn)
+            if handle is None:
                 records = [
                     record
                     for record in wal.records()
@@ -714,7 +987,14 @@ class DurableEngine(StorageEngine):
                 tables = self._reconstruct_tables(
                     manifest, records, record_stats=False
                 )
-                handle = SnapshotHandle(key, generation_lsn, wal_lsn, tables)
+                handle = SnapshotHandle(
+                    key,
+                    generation_lsn,
+                    wal_lsn,
+                    tables,
+                    records=records,
+                    index_builder=self._build_snapshot_indexes,
+                )
                 # Retire unpinned reconstructions of superseded states;
                 # the cache then holds the pinned set plus this key.
                 for stale_key, stale in list(self._snapshots.items()):
@@ -737,6 +1017,155 @@ class DurableEngine(StorageEngine):
                     sum(h.pins for h in self._snapshots.values())
                 )
         return handle
+
+    def _advance_snapshot(
+        self, wal: WriteAheadLog, generation_lsn: int, wal_lsn: int
+    ) -> SnapshotHandle | None:
+        """Roll an unpinned cached handle forward to *wal_lsn* in place.
+
+        Called with the snapshot lock held on a cache miss.  When a
+        cached reconstruction of the *same* generation sits at a lower
+        LSN, is unpinned (no reader observes its tables), and the WAL
+        span between the two LSNs is DDL-free (only data and
+        ``patch_delta`` records), the handle's tables are advanced by
+        replaying just that tail — its PatchIndexes, attached as table
+        listeners, maintain themselves through the same incremental path
+        as the live database — and the handle is rekeyed.  Anything else
+        returns None and the caller reconstructs from scratch.
+        """
+        best = None
+        for cached in self._snapshots.values():
+            if (
+                cached.pins <= 0
+                and cached.generation_lsn == generation_lsn
+                and cached.wal_lsn < wal_lsn
+                and (best is None or cached.wal_lsn > best.wal_lsn)
+            ):
+                best = cached
+        if best is None:
+            return None
+        tail = [
+            record
+            for record in wal.records()
+            if best.wal_lsn < record.lsn <= wal_lsn
+        ]
+        for record in tail:
+            if record.kind not in DATA_KINDS and record.kind not in PATCH_KINDS:
+                return None  # DDL in the span: reconstruct from scratch
+            if (
+                record.kind in DATA_KINDS
+                and record.payload.get("table") not in best.tables
+            ):
+                return None
+        applied = 0
+        for record in tail:
+            if record.kind in DATA_KINDS:
+                self._apply_record_to_table(
+                    best.tables[record.payload["table"]], record
+                )
+                applied += 1
+        del self._snapshots[best.key]
+        best.key = (generation_lsn, wal_lsn)
+        best.wal_lsn = wal_lsn
+        best.records.extend(tail)
+        self._snapshots[best.key] = best
+        if self._metrics is not None:
+            self._metrics.counter("storage.snapshot.advances").inc()
+            self._metrics.counter("storage.snapshot.advance_records").inc(
+                applied
+            )
+        return best
+
+    def _build_snapshot_indexes(self, handle: SnapshotHandle, catalog) -> None:
+        """Attach PatchIndexes to a snapshot catalog (lazy, per handle).
+
+        Mirrors recovery at the pinned point in time: each index that
+        existed at the pinned LSN is restored from the pinned
+        generation's ``patches.json`` plus its ``patch_delta`` tail at
+        or below the pin, falling back to fresh discovery over the
+        snapshot tables.  Snapshot indexes keep ``delta_sink=None`` —
+        their deltas are never logged — but stay attached as table
+        listeners so :meth:`_advance_snapshot` maintains them.
+        """
+        from repro.core.patch_index import PatchIndex, PatchIndexMode
+
+        persisted: dict = {}
+        generation_name = handle.generation_name
+        if generation_name is not None:
+            path = (
+                self.root / SEGMENTS_DIR / generation_name / PATCHES_NAME
+            )
+            try:
+                raw = json.loads(path.read_text(encoding="utf-8"))
+                indexes = raw.get("indexes") if isinstance(raw, dict) else None
+                if isinstance(indexes, dict):
+                    persisted = dict(indexes)
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                persisted = {}
+        live = live_records_of(handle.records)
+        index_records = [r for r in live if r.kind == "create_index"]
+        patch_records: dict[str, list[WalRecord]] = {}
+        data_tail: list[tuple[str, str, str | None, int]] = []
+        for record in live:
+            if record.lsn <= handle.generation_lsn:
+                continue
+            if record.kind in PATCH_KINDS:
+                patch_records.setdefault(
+                    record.payload.get("index"), []
+                ).append(record)
+            elif record.kind in DATA_KINDS:
+                data_tail.append(
+                    (
+                        record.payload["table"],
+                        record.kind,
+                        record.payload.get("column"),
+                        record.lsn,
+                    )
+                )
+        built = 0
+        for record in index_records:
+            payload = record.payload
+            table = handle.tables.get(payload["table"])
+            if table is None:
+                continue
+            index = None
+            entry = persisted.get(payload["name"])
+            if entry is not None and record.lsn <= handle.generation_lsn:
+                required = {
+                    lsn
+                    for tbl, kind, column, lsn in data_tail
+                    if tbl == payload["table"]
+                    and (kind != "update" or column == payload["column"])
+                }
+                index, _ = restore_patch_index(
+                    table,
+                    payload,
+                    entry,
+                    patch_records.get(payload["name"], []),
+                    required,
+                    provenance="snapshot",
+                )
+            if index is None:
+                try:
+                    index = PatchIndex.create(
+                        payload["name"],
+                        table,
+                        payload["column"],
+                        kind=payload["kind"],
+                        mode=PatchIndexMode(payload.get("mode", "auto")),
+                        threshold=float(payload.get("threshold", 1.0)),
+                        scope=payload.get("scope", "global"),
+                        ascending=bool(payload.get("ascending", True)),
+                        strict=bool(payload.get("strict", False)),
+                        provenance="snapshot",
+                        enforce_threshold=False,
+                    )
+                except StorageError:  # pragma: no cover - defensive
+                    continue
+            catalog.add_index(index)
+            built += 1
+        if self._metrics is not None and built:
+            self._metrics.counter("storage.snapshot.indexes_built").inc(built)
 
     def release_snapshot(self, handle: SnapshotHandle) -> None:
         """Drop one pin and garbage-collect deferred generations."""

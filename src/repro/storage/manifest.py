@@ -5,8 +5,11 @@ schema and partition layout, and the segment file backing each column of
 each partition, all as of one checkpoint LSN.  Everything in the WAL
 with an LSN at or below ``checkpoint_lsn`` is already reflected in the
 segments; recovery loads the manifest first and then replays only the
-WAL tail beyond it (metadata records are kept regardless — PatchIndexes
-are rebuilt from data, never from logged patches).
+WAL tail beyond it.  Since format version 3 the manifest may also point
+at a per-generation ``patches.json`` holding the materialized patch sets
+of every PatchIndex as of the checkpoint; recovery restores indexes from
+it and replays the ``patch_delta`` tail, falling back to the paper's
+rebuild-from-data path when the file (or any required delta) is absent.
 
 The manifest is a single JSON document written atomically (temp file +
 fsync + rename), so a crash during checkpoint leaves either the old or
@@ -23,12 +26,14 @@ from pathlib import Path
 from repro.errors import StorageError
 
 #: Bump when the manifest or segment layout changes incompatibly.
-#: Version 2 introduced encoded RSEG2 segments; version-1 manifests
-#: (pointing at raw RSEG1 segments) remain fully readable.
-FORMAT_VERSION = 2
+#: Version 2 introduced encoded RSEG2 segments; version 3 added the
+#: optional ``patches`` pointer to a per-generation patch-set file.
+#: Older manifests remain fully readable (they simply carry no
+#: persisted patches, so recovery rebuilds indexes from data).
+FORMAT_VERSION = 3
 
 #: Manifest versions this reader understands.
-SUPPORTED_VERSIONS = frozenset({1, 2})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3})
 
 MANIFEST_NAME = "manifest.json"
 
@@ -64,12 +69,16 @@ class Manifest:
     checkpoint_lsn: int
     tables: dict[str, TableManifest] = field(default_factory=dict)
     format_version: int = FORMAT_VERSION
+    #: Path (relative to the data directory) of the generation's
+    #: materialized patch-set file, or None when none was persisted.
+    patches: str | None = None
 
     def to_json(self) -> str:
         return json.dumps(
             {
                 "format_version": self.format_version,
                 "checkpoint_lsn": self.checkpoint_lsn,
+                "patches": self.patches,
                 "tables": {
                     name: {
                         "schema": table.schema,
@@ -116,10 +125,12 @@ class Manifest:
                     for partition in entry["partitions"]
                 ],
             )
+        patches = raw.get("patches")
         return cls(
             checkpoint_lsn=int(raw["checkpoint_lsn"]),
             tables=tables,
             format_version=version,
+            patches=str(patches) if patches is not None else None,
         )
 
 

@@ -60,6 +60,8 @@ class SnapshotHandle:
         generation_lsn: int,
         wal_lsn: int,
         tables: dict[str, "Table"],
+        records: list | None = None,
+        index_builder=None,
     ):
         self.key = key
         #: Checkpoint LSN of the pinned manifest generation (0 when the
@@ -68,6 +70,15 @@ class SnapshotHandle:
         #: Last WAL LSN visible to the snapshot.
         self.wal_lsn = wal_lsn
         self.tables = tables
+        #: The WAL records at or below the pinned LSN the reconstruction
+        #: replayed; the index builder reads index DDL and the
+        #: ``patch_delta`` tail from here, and a hot-key advance appends
+        #: the records it rolled the handle forward over.
+        self.records = records if records is not None else []
+        #: Engine callback ``(handle, catalog)`` attaching PatchIndexes
+        #: to the lazily-built catalog; None leaves the catalog
+        #: index-free (tests, detached handles).
+        self.index_builder = index_builder
         #: Active pin count; maintained under the engine snapshot lock.
         self.pins = 0
         self._catalog: Catalog | None = None
@@ -84,18 +95,23 @@ class SnapshotHandle:
     def catalog(self) -> Catalog:
         """A catalog over the snapshot tables, built once per handle.
 
-        The snapshot catalog deliberately carries **no PatchIndexes**:
-        live indexes track the live (moving) table state and their
-        rowids would not line up with a historical snapshot, so
-        snapshot reads run with plain (still verified) scan plans.
-        Carrying indexes forward incrementally is the updatable-
-        PatchIndex item on the roadmap.
+        The catalog carries the snapshot's **own** PatchIndexes: live
+        indexes track the live (moving) table state and their rowids
+        would not line up with a historical snapshot, so the engine's
+        index builder restores each index *as of the pinned LSN* from
+        the checkpointed patch sets plus the logged ``patch_delta``
+        tail (falling back to fresh discovery over the snapshot
+        tables).  Snapshot reads therefore get the same PatchSelect
+        rewrites as live reads, against patch sets pinned at the
+        snapshot's ``(generation, LSN)`` key.
         """
         with self._catalog_lock:
             if self._catalog is None:
                 catalog = Catalog()
                 for table in self.tables.values():
                     catalog.add_table(table)
+                if self.index_builder is not None:
+                    self.index_builder(self, catalog)
                 self._catalog = catalog
             return self._catalog
 

@@ -21,10 +21,17 @@ data records (durable storage engine, :mod:`repro.storage.engine`)
     ``delete``           global rowids removed from a table
     ``update``           one cell written in place
 
-Patches are *never* logged — a PatchIndex is always rebuilt from the
-data on recovery, which is exactly the recovery path the paper
-describes.  Data records carry *physical* scalar values (dates as day
-numbers, NULL as ``null``) so replay is byte-exact.
+patch records (incremental maintenance, :mod:`repro.core.delta`)
+    ``patch_delta``      the checksummed PatchDelta one index derived
+                         from one data record (linked by ``applies_to``)
+
+A ``create_index`` record still never carries the discovered patches,
+and the paper's rebuild-from-data recovery remains the safety net: a
+``patch_delta`` is an *optimization* that lets recovery replay membership
+changes over checkpoint-persisted patch sets, and any missing or
+checksum-mismatching delta sends that index down the rebuild path.
+Data records carry *physical* scalar values (dates as day numbers, NULL
+as ``null``) so replay is byte-exact.
 """
 
 from __future__ import annotations
@@ -48,7 +55,12 @@ _METADATA_KINDS = frozenset(
 #: prunable once a checkpoint has flushed them into segment files.
 DATA_KINDS = frozenset({"append", "load", "delete", "update"})
 
-_KNOWN_KINDS = _METADATA_KINDS | DATA_KINDS
+#: Patch-maintenance record kinds; replayed over persisted patch sets
+#: and prunable alongside data records (a checkpoint persists the
+#: materialized patch sets they produced).
+PATCH_KINDS = frozenset({"patch_delta"})
+
+_KNOWN_KINDS = _METADATA_KINDS | DATA_KINDS | PATCH_KINDS
 
 
 @dataclass(frozen=True)
@@ -119,6 +131,15 @@ def live_records_of(records: list[WalRecord]) -> list[WalRecord]:
                 live.append(record)
         elif record.kind in DATA_KINDS:
             if record.payload.get("table") not in dropped_tables:
+                live.append(record)
+        elif record.kind in PATCH_KINDS:
+            # A delta dies with its index or table; the reversed scan
+            # elides the deltas of a dropped incarnation before reaching
+            # (and cancelling) that incarnation's create record.
+            if (
+                record.payload.get("index") not in dropped_indexes
+                and record.payload.get("table") not in dropped_tables
+            ):
                 live.append(record)
     live.reverse()
     return live
@@ -233,6 +254,8 @@ class WriteAheadLog:
             self._metrics.counter("wal.bytes").inc(len(line))
             if kind in DATA_KINDS:
                 self._metrics.counter("wal.data_records").inc()
+            elif kind in PATCH_KINDS:
+                self._metrics.counter("wal.patch_records").inc()
         return record
 
     def checkpoint(self, payload: dict | None = None) -> WalRecord:
@@ -318,15 +341,17 @@ class WriteAheadLog:
 
         This implements the documented checkpoint contract ("earlier
         records may be pruned"): metadata records are condensed to the
-        live set (cancelled create/drop pairs disappear), and data
-        records at or below the most recent checkpoint marker are
-        dropped — a checkpoint has already flushed their effect into
-        segment files, so only the WAL tail beyond it is ever replayed.
-        Metadata records are kept across checkpoints because recovery
-        rebuilds PatchIndexes from data rather than from a snapshot.
+        live set (cancelled create/drop pairs disappear), and data and
+        patch-delta records at or below the most recent checkpoint
+        marker are dropped — a checkpoint has already flushed their
+        effect into segment files and the per-generation patch sets, so
+        only the WAL tail beyond it is ever replayed.  Metadata records
+        are kept across checkpoints because index *definitions* are
+        always replayed from the log (their patch sets come from the
+        persisted generation, or from data as the fallback).
 
         Replay is unaffected: :meth:`live_records` before and after
-        compaction differ only in data records covered by the
+        compaction differ only in data and patch records covered by the
         checkpoint.  LSNs are preserved, as is the next LSN to assign.
         Returns the number of records pruned.
         """
@@ -335,7 +360,7 @@ class WriteAheadLog:
             record
             for record in self.live_records()
             if not (
-                record.kind in DATA_KINDS
+                record.kind in DATA_KINDS | PATCH_KINDS
                 and checkpoint_lsn is not None
                 and record.lsn <= checkpoint_lsn
             )

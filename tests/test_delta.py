@@ -1,0 +1,194 @@
+"""Unit tests for the delta layer: ops, payloads, checksums, stats."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import (
+    DeltaOp,
+    PatchDelta,
+    add_op,
+    apply_ops,
+    delta_checksum,
+    extend_op,
+    invalidate_op,
+    remap_op,
+    remove_op,
+)
+from repro.core.maintenance import MaintenanceStats
+from repro.core.patches import PatchSet
+from repro.errors import StorageError
+
+
+def build(design, rowids, row_count):
+    return PatchSet.build(np.asarray(rowids, dtype=np.int64), row_count, design)
+
+
+class TestDeltaOps:
+    def test_helpers_normalize_rowids(self):
+        op = extend_op(2, 10, [7, np.int64(9)])
+        assert op.op == "extend"
+        assert op.partition_id == 2
+        assert op.row_count == 10
+        assert op.rowids == (7, 9)
+        assert all(isinstance(r, int) for r in op.rowids)
+
+    def test_op_json_round_trip(self):
+        for op in (
+            extend_op(0, 5, [3, 4]),
+            add_op(1, [2]),
+            remove_op(0, [0, 1]),
+            remap_op(3, [5, 9]),
+            invalidate_op(),
+        ):
+            assert DeltaOp.from_json(op.to_json()) == op
+
+    def test_invalidate_json_omits_rowids(self):
+        raw = invalidate_op().to_json()
+        assert raw == {"op": "invalidate"}
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(StorageError, match="unknown delta op"):
+            DeltaOp.from_json({"op": "promote"})
+
+
+class TestApplyOps:
+    @pytest.mark.parametrize("design", ["identifier", "bitmap"])
+    def test_extend_add_remove(self, design):
+        patches = [build(design, [1], 4)]
+        apply_ops(patches, [extend_op(0, 7, [5, 6])])
+        assert patches[0].row_count == 7
+        assert patches[0].rowids().tolist() == [1, 5, 6]
+        apply_ops(patches, [add_op(0, [3]), remove_op(0, [1, 6])])
+        assert patches[0].rowids().tolist() == [3, 5]
+
+    @pytest.mark.parametrize("design", ["identifier", "bitmap"])
+    def test_remap_renumbers_survivors(self, design):
+        patches = [build(design, [1, 4, 5], 6)]
+        # Deleting rowids 1 and 3 drops patch 1 and shifts 4,5 -> 2,3.
+        apply_ops(patches, [remap_op(0, [1, 3])])
+        assert patches[0].row_count == 4
+        assert patches[0].rowids().tolist() == [2, 3]
+
+    def test_ops_target_their_partition(self):
+        patches = [build("identifier", [], 3), build("identifier", [], 3)]
+        apply_ops(patches, [add_op(1, [2])])
+        assert patches[0].patch_count() == 0
+        assert patches[1].rowids().tolist() == [2]
+
+    def test_out_of_range_partition_rejected(self):
+        patches = [build("identifier", [], 3)]
+        with pytest.raises(StorageError, match="partition 1 of 1"):
+            apply_ops(patches, [add_op(1, [0])])
+
+    def test_invalidate_cannot_be_applied(self):
+        patches = [build("identifier", [], 3)]
+        with pytest.raises(StorageError, match="rebuilt from data"):
+            apply_ops(patches, [invalidate_op()])
+
+
+class TestPatchDeltaPayload:
+    def delta(self):
+        return PatchDelta(
+            index_name="pi",
+            table_name="t",
+            event="append",
+            ops=(extend_op(0, 8, [6, 7]), remove_op(0, [1])),
+            rows=3,
+            demoted=1,
+        )
+
+    def test_round_trip_preserves_everything(self):
+        payload = self.delta().to_payload(applies_to=42)
+        restored, applies_to = PatchDelta.from_payload(payload)
+        assert restored == self.delta()
+        assert applies_to == 42
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        payload = json.loads(json.dumps(self.delta().to_payload(7)))
+        restored, applies_to = PatchDelta.from_payload(payload)
+        assert restored == self.delta()
+        assert applies_to == 7
+
+    def test_none_applies_to_round_trips(self):
+        _, applies_to = PatchDelta.from_payload(self.delta().to_payload(None))
+        assert applies_to is None
+
+    def test_tampered_payload_fails_checksum(self):
+        payload = self.delta().to_payload(42)
+        payload["rows"] = 99
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            PatchDelta.from_payload(payload)
+
+    def test_missing_checksum_rejected(self):
+        payload = self.delta().to_payload(42)
+        del payload["checksum"]
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            PatchDelta.from_payload(payload)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(StorageError, match="malformed"):
+            PatchDelta.from_payload("not a dict")
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(StorageError, match="unknown delta event"):
+            PatchDelta(index_name="pi", table_name="t", event="merge")
+
+    def test_checksum_is_canonical(self):
+        body = {"b": 1, "a": [2, 3]}
+        assert delta_checksum(body) == delta_checksum({"a": [2, 3], "b": 1})
+
+    def test_invalidates_property(self):
+        marker = PatchDelta(
+            index_name="pi",
+            table_name="t",
+            event="rebuild",
+            ops=(invalidate_op(),),
+        )
+        assert marker.invalidates
+        assert not self.delta().invalidates
+
+    def test_patch_counters(self):
+        delta = self.delta()
+        assert delta.patches_added() == 2
+        assert delta.patches_removed() == 1
+
+
+class TestRecordDeltaStats:
+    def test_append_and_update_accounting(self):
+        from repro.core.delta import record_delta_stats
+
+        stats = MaintenanceStats()
+        record_delta_stats(
+            stats,
+            PatchDelta(
+                index_name="pi",
+                table_name="t",
+                event="append",
+                ops=(extend_op(0, 10, [8, 9]),),
+                rows=4,
+            ),
+        )
+        record_delta_stats(
+            stats,
+            PatchDelta(
+                index_name="pi",
+                table_name="t",
+                event="update",
+                ops=(remove_op(0, [8]),),
+                rows=1,
+                demoted=0,
+            ),
+        )
+        assert stats.appends_handled == 1
+        assert stats.updates_handled == 1
+        assert stats.rows_appended == 4
+        assert stats.patches_added == 2
+        assert stats.patches_removed == 1
+
+    def test_stats_payload_round_trip(self):
+        stats = MaintenanceStats(appends_handled=3, patches_added=5)
+        restored = MaintenanceStats.from_payload(stats.to_payload())
+        assert restored.appends_handled == 3
+        assert restored.patches_added == 5

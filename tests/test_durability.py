@@ -411,8 +411,10 @@ class TestMixedVersion:
         db.checkpoint()
         db.close()
 
+        from repro.storage.manifest import FORMAT_VERSION
+
         manifest = json.loads((root / "manifest.json").read_text())
-        assert manifest["format_version"] == 2
+        assert manifest["format_version"] == FORMAT_VERSION
         for segment in root.rglob("*.seg"):
             assert segment.read_bytes().startswith(b"RSEG2\n")
 

@@ -168,10 +168,15 @@ class TestSnapshotView:
         assert old_generations.isdisjoint(remaining)
         assert len(remaining) == 1
 
-    def test_snapshot_catalog_has_no_patchindexes(self, durable):
+    def test_snapshot_catalog_carries_pinned_patchindexes(self, durable):
         durable.sql("CREATE PATCHINDEX pi ON t(c) TYPE UNIQUE")
         with durable.snapshot() as view:
-            assert view.catalog.indexes_on("t") == []
+            # The snapshot builds its own index over the pinned tables —
+            # never the live index, whose rowids track the moving state.
+            snapshot_indexes = view.catalog.indexes_on("t")
+            assert [index.name for index in snapshot_indexes] == ["pi"]
+            assert snapshot_indexes[0] is not durable.catalog.index("pi")
+            assert snapshot_indexes[0].delta_sink is None
             assert view.sql("SELECT COUNT(DISTINCT c) AS n FROM t").scalar() == 3
 
     def test_session_snapshot_reads_on_durable(self, durable):

@@ -70,6 +70,15 @@ L9  no-blocking-io-in-coroutines
     client with it.  Blocking work belongs on an executor thread
     (``run_in_executor``); nested synchronous ``def`` helpers are
     exempt because they only run when called, which is on the executor.
+
+L10 patch-mutation-through-delta-layer
+    Patch membership mutations — ``.extend`` / ``.add`` / ``.remove`` /
+    ``.remap_after_delete`` on a patch-set receiver — are allowed only
+    inside the delta layer ({delta_layer_files}).  Everything else must
+    route through ``repro.core.delta.apply_ops`` so every membership
+    change produces a loggable, replayable ``PatchDelta`` — a direct
+    mutation would silently diverge recovery and snapshots from the
+    live index.
 """
 
 from __future__ import annotations
@@ -109,9 +118,18 @@ FROMBUFFER_ALLOWED_FILES = (
     "exec/parallel/worker.py",
 )
 
+#: Files allowed to mutate patch-set membership directly (L10): the
+#: delta layer that turns mutations into replayable PatchDelta ops, and
+#: the patch-set classes whose methods the ops resolve to.
+DELTA_LAYER_FILES = (
+    "core/delta.py",
+    "core/patches.py",
+)
+
 __doc__ = __doc__.format(
     namespaces=", ".join(METRIC_NAMESPACES),
     frombuffer_files=", ".join(FROMBUFFER_ALLOWED_FILES),
+    delta_layer_files=", ".join(DELTA_LAYER_FILES),
 )
 
 #: Directories whose classes are touched by concurrent workers (L2).
@@ -731,6 +749,48 @@ def check_async_blocking_io(path: Path, tree: ast.AST) -> list[Finding]:
     return findings
 
 
+# -- L10 -----------------------------------------------------------------------
+
+#: Patch-set methods that change membership (L10).  ``remap_after_delete``
+#: is included even though it only renumbers: a renumber outside the
+#: delta layer is just as invisible to WAL replay as an add/remove.
+PATCH_MUTATION_METHODS = frozenset(
+    {"extend", "add", "remove", "remap_after_delete"}
+)
+
+
+def check_patch_mutation_layer(path: Path, tree: ast.AST) -> list[Finding]:
+    if posix(path).endswith(DELTA_LAYER_FILES):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in PATCH_MUTATION_METHODS
+        ):
+            continue
+        # Receiver heuristic: the project's patch-set handles are named
+        # ``...patches...`` ("patches", "self.patches", "partition.patches",
+        # "table_patches") — plain containers are not, so list.extend and
+        # set.add elsewhere stay legal.
+        receiver = ast.unparse(node.func.value).lower()
+        if "patches" not in receiver:
+            continue
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                "L10",
+                f"direct patch-set mutation .{node.func.attr}() on "
+                f"{ast.unparse(node.func.value)!r}; route membership "
+                "changes through repro.core.delta.apply_ops so they "
+                "produce a replayable PatchDelta",
+            )
+        )
+    return findings
+
+
 # -- driver --------------------------------------------------------------------
 
 
@@ -749,6 +809,7 @@ def lint_file(path: Path) -> list[Finding]:
     findings.extend(check_explicit_dtype(path, tree))
     findings.extend(check_raw_segment_decode(path, tree))
     findings.extend(check_async_blocking_io(path, tree))
+    findings.extend(check_patch_mutation_layer(path, tree))
     findings.extend(check_stale_markers(path))
     return findings
 
