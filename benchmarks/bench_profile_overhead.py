@@ -13,7 +13,18 @@ attributes.  This benchmark checks that promise and records it to
 - *enabled*: ``Database.sql(query, profile=True)`` — full per-operator
   timing, PatchSelect counters and cardinality feedback.
 
-Acceptance: disabled overhead vs the baseline stays within 5%.
+The concurrency sanitizer rides the same harness on a *durable* engine
+(its instrumented locks sit on the block-cache and snapshot paths,
+which a memory engine never exercises):
+
+- *sanitize off*: ``REPRO_SANITIZE`` unset — ``make_lock`` hands out
+  plain ``threading.Lock`` objects, so the knob must be (near) free;
+- *sanitize on*: the same workload against a database built under
+  ``REPRO_SANITIZE=1`` — order-graph checks, held-time histograms and
+  the resource ledger all active.
+
+Acceptance: disabled profiling overhead vs the baseline stays within
+5%; the sanitize-off path stays within 10% of the durable baseline.
 
 Run:  PYTHONPATH=src python benchmarks/bench_profile_overhead.py
 
@@ -44,6 +55,7 @@ from repro.types import DataType
 ROWS = int(os.environ.get("REPRO_BENCH_PROFILE_ROWS", 200_000))
 REPEATS = int(os.environ.get("REPRO_BENCH_PROFILE_REPEATS", 9))
 DISABLED_BUDGET = 0.05  # acceptance: <= 5% overhead with profiling off
+SANITIZE_OFF_BUDGET = 0.10  # acceptance: <= 10% with the knob off
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_profile.json"
 
 QUERY = "SELECT COUNT(DISTINCT c) AS n FROM t WHERE c < {limit}"
@@ -62,6 +74,96 @@ def build_database(rows: int) -> Database:
     table.load_columns({"c": ColumnVector(DataType.INT64, values)})
     database.create_patch_index("pi", "t", "c", kind="unique")
     return database
+
+
+def build_durable(rows: int, root: str) -> Database:
+    rng = np.random.default_rng(31)
+    values = rng.permutation(rows).astype(np.int64)
+    database = Database(path=root, mmap=True, sync=False, parallelism=1)
+    table = database.create_table(
+        "t", Schema([Field("c", DataType.INT64)]), partition_count=4
+    )
+    table.load_columns({"c": ColumnVector(DataType.INT64, values)})
+    database.sql("CHECKPOINT")  # segment-backed scans go through the cache
+    return database
+
+
+def measure_sanitizer(query: str, repeats: int) -> dict:
+    """Durable-engine sql() with the sanitizer off vs on."""
+    import shutil
+    import tempfile
+
+    from repro.check import sanitize
+
+    roots = [tempfile.mkdtemp(prefix="bench_sanitize_")
+             for _ in range(2)]
+    saved = os.environ.pop(sanitize.ENV_FLAG, None)
+    try:
+        off_db = build_durable(ROWS, roots[0])
+        os.environ[sanitize.ENV_FLAG] = "1"
+        on_db = build_durable(ROWS, roots[1])
+        del os.environ[sanitize.ENV_FLAG]
+
+        def durable_baseline():
+            statement = parse_statement(query)
+            logical = Optimizer(off_db.catalog).optimize(
+                Binder(off_db.catalog).bind_select(statement)
+            )
+            return collect(
+                PhysicalPlanner(parallelism=1, database=off_db).plan(logical)
+            )
+
+        def sanitize_off():
+            return off_db.sql(query)
+
+        def sanitize_on():
+            os.environ[sanitize.ENV_FLAG] = "1"
+            try:
+                return on_db.sql(query)
+            finally:
+                del os.environ[sanitize.ENV_FLAG]
+
+        expected = durable_baseline().scalar()
+        assert sanitize_off().scalar() == expected
+        assert sanitize_on().scalar() == expected
+
+        # Interleave the three thunks round-robin: the durable runs are
+        # disk- and cache-sensitive, and consecutive blocks would fold
+        # machine drift into the ratios.
+        import gc
+        import time
+
+        thunks = [durable_baseline, sanitize_off, sanitize_on]
+        best = [float("inf")] * len(thunks)
+        for thunk in thunks:
+            for _ in range(2):
+                thunk()
+        for _ in range(repeats):
+            for index, thunk in enumerate(thunks):
+                gc.collect()
+                started = time.perf_counter()
+                thunk()
+                best[index] = min(best[index], time.perf_counter() - started)
+        baseline_s, off_s, on_s = best
+        leaks = sanitize.check_balances()
+        off_db.close()
+        on_db.close()
+    finally:
+        if saved is not None:
+            os.environ[sanitize.ENV_FLAG] = saved
+        else:
+            os.environ.pop(sanitize.ENV_FLAG, None)
+        for root in roots:
+            shutil.rmtree(root, ignore_errors=True)
+    return {
+        "durable_baseline_s": baseline_s,
+        "off_s": off_s,
+        "on_s": on_s,
+        "off_overhead": off_s / baseline_s - 1.0,
+        "on_overhead": on_s / baseline_s - 1.0,
+        "off_budget": SANITIZE_OFF_BUDGET,
+        "balanced": not leaks,
+    }
 
 
 def main() -> int:
@@ -104,6 +206,20 @@ def main() -> int:
         f"{'OK' if within_budget else 'EXCEEDED'}"
     )
 
+    sanitize_stats = measure_sanitizer(query, REPEATS)
+    sanitize_ok = (
+        sanitize_stats["off_overhead"] <= SANITIZE_OFF_BUDGET
+        and sanitize_stats["balanced"]
+    )
+    print(
+        f"sanitize off      {sanitize_stats['off_s'] * 1000:9.2f} ms "
+        f"({sanitize_stats['off_overhead']:+.1%})\n"
+        f"sanitize on       {sanitize_stats['on_s'] * 1000:9.2f} ms "
+        f"({sanitize_stats['on_overhead']:+.1%})\n"
+        f"sanitize budget   {SANITIZE_OFF_BUDGET:.0%} off -> "
+        f"{'OK' if sanitize_ok else 'EXCEEDED'}"
+    )
+
     payload = {
         "rows": ROWS,
         "repeats": REPEATS,
@@ -115,10 +231,11 @@ def main() -> int:
         "enabled_overhead": enabled_overhead,
         "disabled_budget": DISABLED_BUDGET,
         "within_budget": within_budget,
+        "sanitize": sanitize_stats,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
-    return 0 if within_budget else 1
+    return 0 if within_budget and sanitize_ok else 1
 
 
 if __name__ == "__main__":

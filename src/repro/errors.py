@@ -99,3 +99,48 @@ class ProtocolError(ReproError):
 
 class ConnectionClosedError(ReproError):
     """The server connection closed before (or while) a reply arrived."""
+
+
+class LockOrderError(ReproError):
+    """The runtime sanitizer observed a lock-acquisition order inversion.
+
+    Raised by :class:`repro.check.sanitize.SanitizedLock` when a thread
+    acquires lock *second* while holding *first*, but some earlier
+    acquisition (recorded in the global order graph) took them the other
+    way around — the classic two-thread deadlock shape, surfaced on the
+    first inverted acquisition instead of the eventual hang.  Carries
+    both acquisition stacks so the report names the two call sites that
+    disagree about the order.
+    """
+
+    def __init__(
+        self,
+        first: str,
+        second: str,
+        current_stack: str,
+        prior_stack: str,
+    ):
+        self.first = first
+        self.second = second
+        self.current_stack = current_stack
+        self.prior_stack = prior_stack
+        super().__init__(
+            f"lock order inversion: acquiring {second!r} while holding "
+            f"{first!r}, but the recorded order graph already has "
+            f"{second!r} held while acquiring {first!r}\n"
+            f"-- this acquisition ({first!r} -> {second!r}) --\n"
+            f"{current_stack}\n"
+            f"-- recorded acquisition ({second!r} -> {first!r}) --\n"
+            f"{prior_stack}"
+        )
+
+
+class ResourceLeakError(ReproError):
+    """A sanitized resource balance did not return to zero.
+
+    Raised by :func:`repro.check.sanitize.assert_balanced` when snapshot
+    pins, shm segments, or cache accounting are left outstanding at a
+    checkpoint the caller declared quiescent (test teardown).  The
+    message lists each unbalanced resource with the stack that acquired
+    it.
+    """

@@ -17,9 +17,9 @@ fragments routed around the GIL entirely.
 from __future__ import annotations
 
 import os
-import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.check.sanitize import make_lock
 from repro.errors import PlanError
 
 
@@ -35,7 +35,7 @@ def default_parallelism() -> int:
     return os.cpu_count() or 1
 
 
-_lock = threading.Lock()
+_lock = make_lock("exec.parallel.pool")
 _pool: ThreadPoolExecutor | None = None
 _pool_size = 0
 

@@ -34,11 +34,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import threading
 import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.check.sanitize import make_lock
 from repro.errors import PlanError
 from repro.exec.batch import RecordBatch
 from repro.exec.parallel.exchange import FragmentFactory, run_fragment
@@ -92,7 +92,7 @@ def start_method() -> str:
     return "fork" if "fork" in available else "spawn"
 
 
-_lock = threading.Lock()
+_lock = make_lock("exec.parallel.procpool")
 _pool: ProcessPoolExecutor | None = None
 _pool_size = 0
 _pool_method: str | None = None

@@ -38,6 +38,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.check.sanitize import release_resource, track_resource
 from repro.exec.batch import RecordBatch
 from repro.storage.column import ColumnVector
 
@@ -65,6 +66,10 @@ def create_block(name: str, size: int) -> shared_memory.SharedMemory:
         unlink_block(name)
         block = shared_memory.SharedMemory(name=name, create=True, size=size)
     _untrack(block)
+    # The sanitizer's per-process ledger: workers see their creates,
+    # the coordinator its unlinks; cross-process balance is proven by
+    # the /dev/shm scan in repro.check.sanitize.leaked_shm_segments.
+    track_resource("shm_segment", name)
     return block
 
 
@@ -91,6 +96,7 @@ def unlink_block(name: str) -> bool:
         block.unlink()
     except FileNotFoundError:  # pragma: no cover - lost a race
         return False
+    release_resource("shm_segment", name)
     return True
 
 
@@ -182,6 +188,8 @@ def decode(payload: dict[str, Any]) -> list[RecordBatch]:
             block.unlink()
         except FileNotFoundError:  # pragma: no cover - already collected
             pass
+        else:
+            release_resource("shm_segment", payload["shm"])
 
 
 def _read_batches(meta: dict[str, Any], buf: memoryview) -> list[RecordBatch]:

@@ -48,10 +48,11 @@ class Counter:
 
     @property
     def value(self) -> int | float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Counter({self.name}={self._value})"
+        return f"Counter({self.name}={self.value})"
 
 
 class Gauge:
@@ -74,10 +75,11 @@ class Gauge:
 
     @property
     def value(self) -> int | float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Gauge({self.name}={self._value})"
+        return f"Gauge({self.name}={self.value})"
 
 
 #: Default histogram bucket upper bounds: powers of four spanning
@@ -127,7 +129,8 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def summary(self) -> dict:
         """Exportable summary (omits empty-histogram infinities).
@@ -152,7 +155,8 @@ class Histogram:
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Histogram({self.name}, n={self.count})"
+        with self._lock:
+            return f"Histogram({self.name}, n={self.count})"
 
 
 class MetricsRegistry:

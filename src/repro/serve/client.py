@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import socket
 import struct
-import threading
 
+from repro.check.sanitize import make_lock
 from repro.errors import ConnectionClosedError, ProtocolError
 from repro.exec.result import QueryResult
 from repro.serve.protocol import (
@@ -86,7 +86,7 @@ class ServerClient:
     def __init__(self, host: str, port: int = DEFAULT_PORT, *, timeout: float | None = None):
         self.host = host
         self.port = port
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.client.request")
         self._closed = False
         self._parallelism: int | None = None
         self._socket = socket.create_connection((host, port), timeout=timeout)
@@ -100,14 +100,14 @@ class ServerClient:
     # -- framing ------------------------------------------------------------
 
     def _request(self, payload: dict) -> dict | None:
-        with self._lock:
+        with self._lock:  # lock-ok: the lock serializes one request/response conversation on the socket; blocking inside it is the design
             if self._closed:
                 raise ConnectionClosedError("client is closed")
             try:
                 self._socket.sendall(encode_frame(payload))
                 return self._read_frame()
             except (OSError, ConnectionClosedError):
-                self._teardown()
+                self._teardown_locked()
                 raise ConnectionClosedError(
                     f"connection to {self.host}:{self.port} lost"
                 ) from None
@@ -207,11 +207,14 @@ class ServerClient:
     @property
     def parallelism(self) -> int | None:
         """Per-session degree of parallelism (mirrors Database.parallelism)."""
-        return self._parallelism
+        with self._lock:
+            return self._parallelism
 
     @parallelism.setter
     def parallelism(self, value: int | None) -> None:
-        self._parallelism = self.set("parallelism", value)
+        applied = self.set("parallelism", value)
+        with self._lock:
+            self._parallelism = applied
 
     def describe(self) -> str:
         return self._call({"op": "describe"})["text"]
@@ -269,7 +272,7 @@ class ServerClient:
 
     def close(self) -> None:
         """Say goodbye and close the socket (idempotent)."""
-        with self._lock:
+        with self._lock:  # lock-ok: goodbye shares the request lock's socket-serialization design
             if self._closed:
                 return
             try:
@@ -277,9 +280,9 @@ class ServerClient:
                 self._read_frame()
             except OSError:
                 pass
-            self._teardown()
+            self._teardown_locked()
 
-    def _teardown(self) -> None:
+    def _teardown_locked(self) -> None:
         self._closed = True
         try:
             self._socket.close()
@@ -293,7 +296,8 @@ class ServerClient:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "closed" if self._closed else "open"
+        with self._lock:
+            state = "closed" if self._closed else "open"
         return f"ServerClient({self.host}:{self.port}, {state})"
 
 
@@ -380,13 +384,16 @@ class AsyncReproClient:
         return (await self._call({"op": "checkpoint"}))["result"]
 
     async def close(self) -> None:
-        if self._closed:
-            return
-        try:
-            await self._call({"op": "close"})
-        except (ConnectionClosedError, OSError):
-            pass
-        self._closed = True
+        async with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._writer.write(encode_frame({"op": "close"}))
+                await self._writer.drain()
+                await read_frame(self._reader)
+            except (ConnectionClosedError, OSError):
+                pass
         self._writer.close()
         try:
             await self._writer.wait_closed()

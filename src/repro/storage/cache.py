@@ -28,13 +28,14 @@ cache across engine snapshots (:func:`process_cache`), sized by the
 from __future__ import annotations
 
 import os
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.check.sanitize import enabled as sanitize_enabled
+from repro.check.sanitize import make_lock, register_cache
 from repro.errors import StorageError
 from repro.storage.column import ColumnVector
 
@@ -104,7 +105,7 @@ class BlockCache:
         #: Entries above this size are skipped (and counted), so one
         #: giant block can never wipe the whole working set.
         self.max_entry_bytes = self.capacity_bytes // 4
-        self._lock = threading.Lock()
+        self._lock = make_lock("storage.cache.block")
         self._entries: OrderedDict[tuple, tuple[ColumnVector, int]] = (
             OrderedDict()
         )
@@ -114,10 +115,13 @@ class BlockCache:
         self.evictions = 0
         self.skips = 0
         self._metrics = metrics
+        if sanitize_enabled():
+            register_cache(self)
 
     def attach_metrics(self, metrics: "MetricsRegistry") -> None:
         """Publish counters/gauges into *metrics* from now on."""
-        self._metrics = metrics
+        with self._lock:
+            self._metrics = metrics
 
     # -- core operations ------------------------------------------------
 
@@ -131,11 +135,12 @@ class BlockCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 hit = True
-        if self._metrics is not None:
+            metrics = self._metrics
+        if metrics is not None:
             if hit:
-                self._metrics.counter("cache.hits").inc()
+                metrics.counter("cache.hits").inc()
             else:
-                self._metrics.counter("cache.misses").inc()
+                metrics.counter("cache.misses").inc()
         return entry[0] if entry is not None else None
 
     def put(
@@ -147,8 +152,9 @@ class BlockCache:
         if nbytes > self.max_entry_bytes:
             with self._lock:
                 self.skips += 1
-            if self._metrics is not None:
-                self._metrics.counter("cache.skip_count").inc()
+                metrics = self._metrics
+            if metrics is not None:
+                metrics.counter("cache.skip_count").inc()
             return False
         evicted = 0
         with self._lock:
@@ -161,8 +167,9 @@ class BlockCache:
             self._entries[key] = (vector, nbytes)
             self._bytes += nbytes
             self.evictions += evicted
-        if self._metrics is not None and evicted:
-            self._metrics.counter("cache.evictions").inc(evicted)
+            metrics = self._metrics
+        if metrics is not None and evicted:
+            metrics.counter("cache.evictions").inc(evicted)
         return True
 
     def clear(self) -> None:
@@ -187,6 +194,30 @@ class BlockCache:
         with self._lock:
             total = self.hits + self.misses
             return self.hits / total if total else 0.0
+
+    def verify_accounting(self) -> str | None:
+        """Cross-check byte/entry bookkeeping against the actual entries.
+
+        Returns a description of the first mismatch, or None when the
+        books balance.  The sanitizer teardown fixture calls this for
+        every live cache: ``_bytes`` is maintained incrementally on
+        put/evict, so any drift means an unbalanced admit/evict pair.
+        """
+        with self._lock:
+            actual = sum(nbytes for _, nbytes in self._entries.values())
+            entries = len(self._entries)
+            tracked = self._bytes
+        if actual != tracked:
+            return (
+                f"BlockCache byte accounting drifted: tracked {tracked} "
+                f"!= actual {actual} across {entries} entries"
+            )
+        if tracked > self.capacity_bytes and entries > 1:
+            return (
+                f"BlockCache over capacity: {tracked} bytes held, "
+                f"capacity {self.capacity_bytes}"
+            )
+        return None
 
     def stats(self) -> dict:
         """Snapshot of counters and occupancy for ``\\cache`` / gauges."""

@@ -31,9 +31,9 @@ does this for every connection).
 
 from __future__ import annotations
 
-import threading
 from typing import TYPE_CHECKING
 
+from repro.check.sanitize import make_lock
 from repro.errors import ExecutionError
 from repro.storage.catalog import Catalog
 
@@ -82,7 +82,7 @@ class SnapshotHandle:
         #: Active pin count; maintained under the engine snapshot lock.
         self.pins = 0
         self._catalog: Catalog | None = None
-        self._catalog_lock = threading.Lock()
+        self._catalog_lock = make_lock("storage.snapshot.catalog")
 
     @property
     def generation_name(self) -> str | None:

@@ -6,7 +6,31 @@ import numpy as np
 import pytest
 
 from repro import Database, DataType, Field, Schema, Table
+from repro.check import sanitize
 from repro.storage.column import ColumnVector
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_teardown():
+    """Under ``REPRO_SANITIZE=1``, every test must leave zero balances.
+
+    The flag is captured at setup (monkeypatch-based tests may flip the
+    env mid-test; those own their balance assertions), the ledger and
+    order graph start clean, and at teardown every tracked resource —
+    snapshot pins, shm segments, cache byte accounting — must be back
+    to zero or the test fails with the acquiring stacks.
+    """
+    active = sanitize.enabled()
+    if active:
+        sanitize.reset()
+    yield
+    if active and sanitize.enabled():
+        problems = sanitize.check_balances()
+        sanitize.reset()
+        if problems:
+            pytest.fail(
+                "sanitizer imbalance at teardown:\n- " + "\n- ".join(problems)
+            )
 
 
 @pytest.fixture

@@ -1,0 +1,463 @@
+"""Seeded-mutation corpus for the lock-graph analyzer (L11-L13).
+
+Each rule is proven live by planting deliberately broken modules in a
+temp tree and asserting the analyzer fires on every injected violation
+— and proven quiet by running it over the shipped source tree, which
+must stay finding-free (the CI ``sanitize`` job enforces the same).
+The repro_lint driver's ``--select`` / ``--format`` plumbing is
+exercised through real subprocess invocations.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import lockgraph  # noqa: E402
+import repro_lint  # noqa: E402
+
+
+def analyze_source(tmp_path: Path, source: str, name: str = "seeded.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lockgraph.analyze([path])
+
+
+def rules_of(findings) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+# -- L11: lock-order cycles ---------------------------------------------------
+
+
+class TestL11LockOrder:
+    def test_inverted_pair_is_a_cycle(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Ledger:
+                def __init__(self):
+                    self._accounts = threading.Lock()
+                    self._audit = threading.Lock()
+
+                def debit(self):
+                    with self._accounts:
+                        with self._audit:
+                            pass
+
+                def audit(self):
+                    with self._audit:
+                        with self._accounts:
+                            pass
+            """,
+        )
+        assert rules_of(findings) == ["L11", "L11"]
+        assert any("cycle" in finding.message for finding in findings)
+
+    def test_nonreentrant_self_nesting_deadlocks(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """,
+        )
+        assert rules_of(findings) == ["L11"]
+        assert "self-deadlock" in findings[0].message
+
+    def test_reentrant_self_nesting_is_fine(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def bump(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """,
+        )
+        assert findings == []
+
+    def test_cycle_through_one_call_hop(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._queue = threading.Lock()
+                    self._stats = threading.Lock()
+
+                def submit(self):
+                    with self._queue:
+                        self.record()
+
+                def record(self):
+                    with self._stats:
+                        pass
+
+                def report(self):
+                    with self._stats:
+                        with self._queue:
+                            pass
+            """,
+        )
+        assert "L11" in rules_of(findings)
+
+    def test_consistent_order_is_fine(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Ledger:
+                def __init__(self):
+                    self._accounts = threading.Lock()
+                    self._audit = threading.Lock()
+
+                def debit(self):
+                    with self._accounts:
+                        with self._audit:
+                            pass
+
+                def credit(self):
+                    with self._accounts:
+                        with self._audit:
+                            pass
+            """,
+        )
+        assert findings == []
+
+
+# -- L12: blocking under a lock -----------------------------------------------
+
+
+class TestL12BlockingUnderLock:
+    def test_fsync_and_sleep_under_lock(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import os
+            import threading
+            import time
+
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def flush(self, fd):
+                    with self._lock:
+                        os.fsync(fd)
+
+                def retry(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """,
+        )
+        assert rules_of(findings) == ["L12", "L12"]
+        messages = " ".join(finding.message for finding in findings)
+        assert "os.fsync" in messages and "time.sleep" in messages
+
+    def test_await_under_threading_lock(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Bridge:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def relay(self, coro):
+                    with self._lock:
+                        await coro
+            """,
+        )
+        assert rules_of(findings) == ["L12"]
+        assert "await" in findings[0].message
+
+    def test_await_under_asyncio_lock_is_fine(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import asyncio
+
+            class Bridge:
+                def __init__(self):
+                    self._lock = asyncio.Lock()
+
+                async def relay(self, coro):
+                    async with self._lock:
+                        await coro
+            """,
+        )
+        assert findings == []
+
+    def test_blocking_one_call_hop_deep(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import os
+            import threading
+
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def flush(self, fd):
+                    with self._lock:
+                        self.sync(fd)
+
+                def sync(self, fd):
+                    os.fsync(fd)
+            """,
+        )
+        assert rules_of(findings) == ["L12"]
+        assert "via" in findings[0].message
+
+    def test_lock_ok_on_with_line_blesses_block(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import os
+            import threading
+
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def flush(self, fd):
+                    with self._lock:  # lock-ok: flip atomicity demands it
+                        os.fsync(fd)
+            """,
+        )
+        assert findings == []
+
+
+# -- L13: guarded attribute access --------------------------------------------
+
+
+class TestL13GuardedAttributes:
+    def test_unlocked_write_and_read_of_rebound_attr(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class State:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._current = None
+
+                def install(self, value):
+                    with self._lock:
+                        self._current = value
+
+                def sneak(self, value):
+                    self._current = value
+
+                def peek(self):
+                    return self._current
+            """,
+        )
+        assert rules_of(findings) == ["L13", "L13"]
+
+    def test_unlocked_container_mutation(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+
+                def sneak(self, key):
+                    self._entries.pop(key, None)
+
+                def peek(self, key):
+                    return self._entries.get(key)
+            """,
+        )
+        # In-place mutation outside the lock fires; plain reads of a
+        # container-guarded attribute stay legal.
+        assert rules_of(findings) == ["L13"]
+        assert "'_entries'" in findings[0].message
+
+    def test_locked_suffix_method_called_without_lock(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._state = None
+
+                def _advance_locked(self):
+                    self._state = object()
+
+                def step(self):
+                    with self._lock:
+                        self._advance_locked()
+
+                def sneak(self):
+                    self._advance_locked()
+            """,
+        )
+        assert rules_of(findings) == ["L13"]
+        assert "_advance_locked" in findings[0].message
+
+    def test_lock_ok_suppresses(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            class State:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._current = None
+
+                def install(self, value):
+                    with self._lock:
+                        self._current = value
+
+                def peek(self):
+                    return self._current  # lock-ok: torn reads are fine here
+            """,
+        )
+        assert findings == []
+
+    def test_module_global_guarded_by_module_lock(self, tmp_path):
+        findings = analyze_source(
+            tmp_path,
+            """
+            import threading
+
+            _lock = threading.Lock()
+            _cache = None
+
+            def install(value):
+                global _cache
+                with _lock:
+                    _cache = value
+
+            def sneak(value):
+                global _cache
+                _cache = value
+            """,
+        )
+        assert rules_of(findings) == ["L13"]
+
+
+# -- the shipped tree must be quiet -------------------------------------------
+
+
+class TestCleanTree:
+    def test_source_tree_has_no_findings(self):
+        files = lockgraph.iter_python_files([str(REPO / "src")])
+        findings = lockgraph.analyze(files)
+        rendered = "\n".join(finding.render() for finding in findings)
+        if rendered:
+            pytest.fail(f"lock-graph findings on shipped tree:\n{rendered}")
+
+
+# -- repro_lint driver plumbing ----------------------------------------------
+
+
+def run_lint(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(REPO / "tools" / "repro_lint.py"), *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+@pytest.fixture()
+def violation_file(tmp_path):
+    path = tmp_path / "planted.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            import os
+            import threading
+
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def flush(self, fd):
+                    with self._lock:
+                        os.fsync(fd)
+            """
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestLintDriver:
+    def test_single_file_select_hits(self, violation_file):
+        proc = run_lint("--select", "L12", str(violation_file))
+        assert proc.returncode == 1
+        assert "L12" in proc.stdout
+
+    def test_select_filters_out(self, violation_file):
+        proc = run_lint("--select", "L11", str(violation_file))
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == ""
+
+    def test_unknown_rule_rejected(self, violation_file):
+        proc = run_lint("--select", "L99", str(violation_file))
+        assert proc.returncode != 0
+        assert "unknown rule" in (proc.stdout + proc.stderr)
+
+    def test_json_format(self, violation_file):
+        proc = run_lint("--format", "json", str(violation_file))
+        findings = json.loads(proc.stdout)
+        assert findings and findings[0]["rule"] == "L12"
+        assert findings[0]["line"] > 0
+
+    def test_github_format(self, violation_file):
+        proc = run_lint("--format", "github", str(violation_file))
+        assert "::error file=" in proc.stdout
+        assert "title=L12" in proc.stdout
+
+    def test_parse_select_roundtrip(self):
+        selected = repro_lint._parse_select("L2, l11")
+        assert selected == frozenset({"L2", "L11"})
+        assert repro_lint._parse_select(None) == frozenset(
+            repro_lint.ALL_RULES
+        )

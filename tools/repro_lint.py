@@ -4,6 +4,9 @@
 Usage::
 
     python tools/repro_lint.py src tests
+    python tools/repro_lint.py --select L2,L11 src/repro/storage/engine.py
+    python tools/repro_lint.py --format json src
+    python tools/repro_lint.py --format github src tests   # CI annotations
 
 Walks the given trees (files under a ``tests`` directory or named
 ``test_*.py`` are *test* files, everything else is *source*) and
@@ -79,11 +82,23 @@ L10 patch-mutation-through-delta-layer
     change produces a loggable, replayable ``PatchDelta`` — a direct
     mutation would silently diverge recovery and snapshots from the
     live index.
+
+L11 lock-order, L12 no-blocking-under-lock, L13 guarded-attribute-access
+    The whole-source lock-graph rules, implemented in
+    ``tools/lockgraph.py`` (see its docstring for the full contract):
+    cycles in the lock-acquisition graph, blocking I/O / ``await``
+    while holding a lock, and access to lock-guarded state outside the
+    owning lock.  Methods named ``*_locked`` are treated as running
+    with their class lock held; ``# lock-ok: <reason>`` suppresses a
+    finding on its line.  These rules run over *source* trees only
+    (tests mutate and assert freely).
 """
 
 from __future__ import annotations
 
+import argparse
 import ast
+import json
 import sys
 import tokenize
 from dataclasses import dataclass
@@ -105,6 +120,7 @@ METRIC_NAMESPACES = (
     "maintenance",
     "server",
     "session",
+    "sanitize",
 )
 
 #: Source files allowed to call ``np.frombuffer`` (L8): the two codec
@@ -133,7 +149,15 @@ __doc__ = __doc__.format(
 )
 
 #: Directories whose classes are touched by concurrent workers (L2).
-LOCK_CHECKED_DIRS = ("exec/parallel", "obs")
+LOCK_CHECKED_DIRS = ("exec/parallel", "obs", "serve")
+
+#: Individual storage files under the same lock discipline: the
+#: checkpoint-flip lock, the snapshot catalog lock and the block cache.
+LOCK_CHECKED_FILES = (
+    "storage/engine.py",
+    "storage/snapshot.py",
+    "storage/cache.py",
+)
 
 #: Files whose write paths must fsync (L3).
 FSYNC_CHECKED_FILES = ("storage/wal.py", "storage/engine.py")
@@ -207,16 +231,19 @@ def check_bare_asserts(path: Path, tree: ast.AST) -> list[Finding]:
 
 
 def _is_lock_factory(node: ast.AST) -> bool:
-    """``threading.Lock()`` / ``threading.RLock()`` / ``Lock()``."""
+    """``threading.Lock()`` / ``RLock()`` / sanitize ``make_lock()``."""
     if not isinstance(node, ast.Call):
         return False
     func = node.func
+    names = ("Lock", "RLock", "make_lock")
     if isinstance(func, ast.Attribute):
-        return func.attr in ("Lock", "RLock")
-    return isinstance(func, ast.Name) and func.id in ("Lock", "RLock")
+        return func.attr in names
+    return isinstance(func, ast.Name) and func.id in names
 
 
-def _with_uses_lock(node: ast.With, lock_names: set[str]) -> bool:
+def _with_uses_lock(
+    node: ast.With | ast.AsyncWith, lock_names: set[str]
+) -> bool:
     for item in node.items:
         expr = item.context_expr
         if isinstance(expr, ast.Attribute) and expr.attr in lock_names:
@@ -246,7 +273,7 @@ def _flag_unlocked_writes(
 ) -> None:
     """Walk statements, flagging shared-state mutation outside the lock."""
     for statement in body:
-        if isinstance(statement, ast.With) and _with_uses_lock(
+        if isinstance(statement, (ast.With, ast.AsyncWith)) and _with_uses_lock(
             statement, lock_names
         ):
             _flag_unlocked_writes(
@@ -312,7 +339,10 @@ def _written_shared_name(node: ast.AST, target_is_shared) -> str | None:
 
 
 def check_lock_discipline(path: Path, tree: ast.Module) -> list[Finding]:
-    if not any(part in posix(path) for part in LOCK_CHECKED_DIRS):
+    covered = any(
+        part in posix(path) for part in LOCK_CHECKED_DIRS
+    ) or posix(path).endswith(LOCK_CHECKED_FILES)
+    if not covered:
         return []
     findings: list[Finding] = []
 
@@ -364,8 +394,11 @@ def check_lock_discipline(path: Path, tree: ast.Module) -> list[Finding]:
                 continue
             if method.name in ("__init__", "__post_init__"):
                 continue
+            # ``*_locked`` methods run with the lock already held by
+            # their caller (L13 checks the call sites).
+            locked = method.name.endswith("_locked")
             _flag_unlocked_writes(
-                path, method.body, instance_locks, _self_attribute, False,
+                path, method.body, instance_locks, _self_attribute, locked,
                 findings,
             )
     return findings
@@ -814,16 +847,108 @@ def lint_file(path: Path) -> list[Finding]:
     return findings
 
 
+#: Every rule this driver can emit (L11-L13 come from tools/lockgraph.py).
+ALL_RULES = tuple(f"L{n}" for n in range(1, 14))
+
+#: The lock-graph rules delegated to the whole-source analyzer.
+LOCKGRAPH_RULES = ("L11", "L12", "L13")
+
+
+def _parse_select(raw: str | None) -> frozenset[str]:
+    """``--select L2,L11`` -> rule set; None/empty selects everything."""
+    if not raw:
+        return frozenset(ALL_RULES)
+    selected = frozenset(
+        token.strip().upper() for token in raw.split(",") if token.strip()
+    )
+    unknown = selected - frozenset(ALL_RULES)
+    if unknown:
+        raise SystemExit(
+            f"repro_lint: unknown rule(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(ALL_RULES)}"
+        )
+    return selected
+
+
+def _lockgraph_findings(roots: list[str]) -> list[Finding]:
+    """Run the lock-graph analyzer (L11-L13) over the source roots."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        import lockgraph
+    finally:
+        sys.path.pop(0)
+    return [
+        Finding(found.path, found.line, found.rule, found.message)
+        for found in lockgraph.analyze(lockgraph.iter_python_files(roots))
+    ]
+
+
+def _emit(findings: list[Finding], fmt: str) -> None:
+    if fmt == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": posix(f.path),
+                        "line": f.line,
+                        "rule": f.rule,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+        return
+    for finding in findings:
+        if fmt == "github":
+            # One workflow annotation per finding; messages must be
+            # newline-free for the ::error command syntax.
+            message = finding.message.replace("\n", " ")
+            print(
+                f"::error file={posix(finding.path)},"
+                f"line={finding.line},title={finding.rule}::{message}"
+            )
+        else:
+            print(finding.render())
+
+
 def main(argv: list[str]) -> int:
-    roots = argv or ["src", "tests"]
+    parser = argparse.ArgumentParser(
+        prog="repro_lint",
+        description="Repo-specific invariant lint (rules L1-L13).",
+    )
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=["src", "tests"],
+        help="directories or single .py files (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule subset, e.g. --select L2,L11",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (github emits ::error workflow annotations)",
+    )
+    options = parser.parse_args(argv)
+    selected = _parse_select(options.select)
+
     findings: list[Finding] = []
     checked = 0
-    for path in iter_python_files(roots):
+    for path in iter_python_files(options.roots):
         checked += 1
         findings.extend(lint_file(path))
+    if selected & frozenset(LOCKGRAPH_RULES):
+        findings.extend(_lockgraph_findings(options.roots))
+    findings = [f for f in findings if f.rule in selected]
     findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
-    for finding in findings:
-        print(finding.render())
+    _emit(findings, options.fmt)
     status = "clean" if not findings else f"{len(findings)} finding(s)"
     print(f"repro_lint: {checked} files checked, {status}", file=sys.stderr)
     return 1 if findings else 0
